@@ -1,0 +1,115 @@
+// Command burbench reproduces the tables and figures of the paper's
+// performance study (§5). Each experiment prints the same series the
+// paper plots: rows are strategies, columns the swept parameter.
+//
+// Usage:
+//
+//	burbench -list
+//	burbench -experiment fig5a
+//	burbench -experiment all -scale 0.5
+//	burbench -experiment fig8 -paper        # full 1M-object workloads
+//	burbench -experiment fig6e -csv -o out.csv
+//
+// The default scale is 1/50 of the paper's workloads (20k objects, 20k
+// updates) so the complete suite finishes in minutes; -scale multiplies
+// it and -paper selects the paper's sizes (expect hours).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"burtree/internal/exp"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "", "experiment id (see -list), comma-separated list, or 'all'")
+		list       = flag.Bool("list", false, "list available experiments and exit")
+		scale      = flag.Float64("scale", 1.0, "workload scale factor relative to the default (1/50 of the paper)")
+		paper      = flag.Bool("paper", false, "use the paper's full workload sizes (1M objects; slow)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		out        = flag.String("o", "", "write output to a file instead of stdout")
+		threads    = flag.Int("threads", 0, "override thread count for the throughput study (default 50)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("Available experiments (paper reference — title):")
+		for _, e := range exp.Registry() {
+			fmt.Printf("  %-20s %-12s %s\n", e.ID, e.Figure, e.Title)
+		}
+		fmt.Println("\nDefault workload parameters (paper Table 1, bold values):")
+		fmt.Println("  page size 1024 B, buffer 1% of database, epsilon 0.003,")
+		fmt.Println("  distance threshold 0.03, level threshold max, uniform data,")
+		fmt.Println("  max distance moved 0.03, query side in [0, 0.1]")
+		return
+	}
+	if *experiment == "" {
+		fmt.Fprintln(os.Stderr, "burbench: -experiment required (try -list)")
+		os.Exit(2)
+	}
+
+	s := exp.DefaultScale()
+	if *paper {
+		s = exp.PaperScale()
+	}
+	if *scale != 1.0 {
+		s.Objects = int(float64(s.Objects) * *scale)
+		s.Updates = int(float64(s.Updates) * *scale)
+		s.Queries = int(float64(s.Queries) * *scale)
+		s.Ops = int(float64(s.Ops) * *scale)
+	}
+	if *threads > 0 {
+		s.Threads = *threads
+	}
+
+	var ids []string
+	if *experiment == "all" {
+		for _, e := range exp.Registry() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*experiment, ",")
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := exp.Find(id)
+		if !ok {
+			fatal(fmt.Errorf("unknown experiment %q (try -list)", id))
+		}
+		fmt.Fprintf(os.Stderr, "running %s (%s) at %d objects / %d updates / %d queries ...\n",
+			e.ID, e.Figure, s.Objects, s.Updates, s.Queries)
+		start := time.Now()
+		tab, err := e.Run(s, *seed)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", id, err))
+		}
+		fmt.Fprintf(os.Stderr, "  done in %v\n", time.Since(start).Round(time.Millisecond))
+		if *csv {
+			fmt.Fprintf(w, "# %s — %s\n%s\n", tab.ID, tab.Title, tab.CSV())
+		} else {
+			fmt.Fprintf(w, "%s\n", tab.Render())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "burbench:", err)
+	os.Exit(1)
+}

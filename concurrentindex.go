@@ -1,0 +1,204 @@
+package burtree
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"burtree/internal/buffer"
+	"burtree/internal/concurrent"
+	"burtree/internal/core"
+	"burtree/internal/pagestore"
+	"burtree/internal/rtree"
+	"burtree/internal/stats"
+)
+
+// ConcurrentIndex is the multi-threaded variant of Index: operations are
+// isolated with Dynamic-Granular-Locking-style granule locks (paper
+// §3.2.2 and §5.4) so bottom-up updates in disjoint regions proceed in
+// parallel while top-down work holds the whole tree. It is safe for
+// concurrent use by any number of goroutines.
+type ConcurrentIndex struct {
+	store *pagestore.Store
+	io    *stats.IO
+	db    *concurrent.DB
+
+	mu      sync.RWMutex
+	objects map[uint64]Point
+}
+
+// OpenConcurrent creates an empty concurrent index.
+func OpenConcurrent(opts Options) (*ConcurrentIndex, error) {
+	kind, err := opts.Strategy.kind()
+	if err != nil {
+		return nil, err
+	}
+	if opts.PageSize == 0 {
+		opts.PageSize = pagestore.DefaultPageSize
+	}
+	if opts.ExpectedObjects == 0 {
+		opts.ExpectedObjects = 1024
+	}
+	reinsert := opts.ReinsertFraction
+	if reinsert == 0 {
+		reinsert = 0.3
+	}
+	if reinsert < 0 {
+		reinsert = 0
+	}
+	lvl := opts.LevelThreshold
+	if lvl == 0 {
+		lvl = core.UnrestrictedLevels
+	}
+	io := &stats.IO{}
+	store := pagestore.New(opts.PageSize, io)
+	pool := buffer.New(store, opts.BufferPages)
+	u, err := core.New(pool, core.Options{
+		Strategy:          kind,
+		Epsilon:           opts.Epsilon,
+		DistanceThreshold: opts.DistanceThreshold,
+		LevelThreshold:    lvl,
+		NoPiggyback:       opts.DisablePiggyback,
+		NoSummaryQueries:  opts.DisableSummaryQueries,
+		ExpectedObjects:   opts.ExpectedObjects,
+		Tree: rtree.Config{
+			ReinsertFraction: reinsert,
+			Split:            opts.SplitAlgorithm,
+		},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentIndex{
+		store:   store,
+		io:      io,
+		db:      concurrent.New(u, 32),
+		objects: make(map[uint64]Point),
+	}, nil
+}
+
+// SetIOLatency simulates a per-page-access service time, making
+// throughput figures I/O-bound as on the paper's hardware. Zero disables
+// the simulation.
+func (x *ConcurrentIndex) SetIOLatency(d time.Duration) { x.store.SetLatency(d) }
+
+// Insert adds a new object at p.
+func (x *ConcurrentIndex) Insert(id uint64, p Point) error {
+	x.mu.Lock()
+	if _, ok := x.objects[id]; ok {
+		x.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrDuplicateObject, id)
+	}
+	// Reserve the id before releasing the map lock so concurrent inserts
+	// of the same id cannot race; roll back on failure.
+	x.objects[id] = p
+	x.mu.Unlock()
+	if err := x.db.Insert(id, p); err != nil {
+		x.mu.Lock()
+		delete(x.objects, id)
+		x.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Update moves an existing object to p. Updates to the same object are
+// serialized; updates to different objects run in parallel when the
+// strategy can resolve them locally.
+func (x *ConcurrentIndex) Update(id uint64, p Point) error {
+	x.mu.Lock()
+	old, ok := x.objects[id]
+	if !ok {
+		x.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
+	}
+	x.objects[id] = p
+	x.mu.Unlock()
+	if err := x.db.Update(id, old, p); err != nil {
+		x.mu.Lock()
+		x.objects[id] = old
+		x.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Delete removes an object.
+func (x *ConcurrentIndex) Delete(id uint64) error {
+	x.mu.Lock()
+	old, ok := x.objects[id]
+	if !ok {
+		x.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
+	}
+	delete(x.objects, id)
+	x.mu.Unlock()
+	if err := x.db.Delete(id, old); err != nil {
+		x.mu.Lock()
+		x.objects[id] = old
+		x.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Count returns the number of objects inside q under shared granule
+// locks (phantom-protected at granule granularity).
+func (x *ConcurrentIndex) Count(q Rect) (int, error) {
+	return x.db.Query(q)
+}
+
+// Len returns the number of indexed objects.
+func (x *ConcurrentIndex) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.objects)
+}
+
+// Location returns the last position accepted for the object. Under
+// concurrent updates of the same id the value may be superseded by the
+// time the caller uses it; callers that need stable read-modify-write
+// semantics serialize their own per-object access.
+func (x *ConcurrentIndex) Location(id uint64) (Point, bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	p, ok := x.objects[id]
+	return p, ok
+}
+
+// ConcurrencyStats reports lock-layer behaviour.
+type ConcurrencyStats = concurrent.Stats
+
+// Stats returns physical counters, tree shape and lock-layer counters.
+func (x *ConcurrentIndex) Stats() (Stats, ConcurrencyStats) {
+	s := x.io.Snapshot()
+	u := x.db.Updater()
+	return Stats{
+		DiskReads:  s.Reads,
+		DiskWrites: s.Writes,
+		BufferHits: s.BufferHits,
+		Splits:     s.Splits,
+		Reinserts:  s.Reinserts,
+		Height:     u.Tree().Height(),
+		Pages:      x.store.NumPages(),
+		Size:       u.Tree().Size(),
+		Outcomes:   u.Outcomes(),
+	}, x.db.Stats()
+}
+
+// CheckInvariants validates the index; callers must ensure quiescence.
+func (x *ConcurrentIndex) CheckInvariants() error {
+	u := x.db.Updater()
+	if err := u.Err(); err != nil {
+		return err
+	}
+	if err := u.Tree().CheckInvariants(); err != nil {
+		return err
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	if u.Tree().Size() != len(x.objects) {
+		return fmt.Errorf("burtree: tree size %d != tracked objects %d", u.Tree().Size(), len(x.objects))
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+// Sensor-field monitoring: the second application class the paper's
+// introduction motivates — "enormous amounts of state samples are
+// obtained via sensors and are streamed to a database".
+//
+// A Gaussian-clustered field of sensors reports slowly drifting values
+// (e.g. tracked weather balloons or tagged wildlife). The example
+// contrasts the ε tuning of the bottom-up strategies: a small ε keeps
+// queries sharp, while a large ε trades query performance for cheaper
+// updates — the exact trade-off of the paper's Figure 5.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"burtree"
+)
+
+const (
+	sensors = 15_000
+	updates = 60_000
+	queries = 500
+)
+
+func main() {
+	fmt.Println("sensor field: epsilon trade-off under the generalized bottom-up strategy")
+	fmt.Printf("%-10s %14s %14s %16s\n", "epsilon", "update I/O", "query I/O", "extended share")
+	for _, eps := range []float64{0.001, 0.003, 0.01, 0.03} {
+		if err := run(eps); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func run(eps float64) error {
+	idx, err := burtree.Open(burtree.Options{
+		Strategy:        burtree.GeneralizedBottomUp,
+		Epsilon:         eps,
+		ExpectedObjects: sensors,
+		BufferPages:     128,
+	})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(77))
+
+	// Gaussian cluster around the field center.
+	for id := uint64(0); id < sensors; id++ {
+		p := burtree.Point{
+			X: clamp01(0.5 + rng.NormFloat64()*0.12),
+			Y: clamp01(0.5 + rng.NormFloat64()*0.12),
+		}
+		if err := idx.Insert(id, p); err != nil {
+			return err
+		}
+	}
+
+	idx.ResetStats()
+	for i := 0; i < updates; i++ {
+		id := uint64(rng.Intn(sensors))
+		p, _ := idx.Location(id)
+		np := burtree.Point{
+			X: p.X + (rng.Float64()*2-1)*0.008, // slow drift
+			Y: p.Y + (rng.Float64()*2-1)*0.008,
+		}
+		if err := idx.Update(id, np); err != nil {
+			return err
+		}
+	}
+	afterUpdates := idx.Stats()
+
+	for q := 0; q < queries; q++ {
+		cx, cy := rng.Float64(), rng.Float64()
+		side := rng.Float64() * 0.1
+		if _, err := idx.Count(burtree.NewRect(cx, cy, cx+side, cy+side)); err != nil {
+			return err
+		}
+	}
+	final := idx.Stats()
+
+	if err := idx.CheckInvariants(); err != nil {
+		return err
+	}
+	updateIO := float64(afterUpdates.DiskReads+afterUpdates.DiskWrites) / updates
+	queryIO := float64((final.DiskReads+final.DiskWrites)-(afterUpdates.DiskReads+afterUpdates.DiskWrites)) / queries
+	extShare := 100 * float64(final.Outcomes.Extended) / float64(final.Outcomes.Total())
+	fmt.Printf("%-10.3f %14.2f %14.2f %15.1f%%\n", eps, updateIO, queryIO, extShare)
+	return nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

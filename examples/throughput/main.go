@@ -1,0 +1,109 @@
+// Concurrent monitoring: the paper's §5.4 throughput scenario as a
+// library application. Many goroutines stream position updates and
+// window queries into a ConcurrentIndex, which isolates them with
+// DGL-style granule locks. Bottom-up updates that stay local run in
+// parallel; top-down work locks the whole tree.
+//
+// The example reports operations/second for TD and GBU under a simulated
+// per-page I/O latency, reproducing the paper's Figure 8 ordering.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"burtree"
+)
+
+const (
+	objects    = 20_000
+	workers    = 16
+	opsPerWkr  = 500
+	updateFrac = 0.75
+	ioLatency  = 50 * time.Microsecond
+)
+
+func main() {
+	fmt.Printf("%d workers, %.0f%% updates, %v simulated page latency\n",
+		workers, updateFrac*100, ioLatency)
+	for _, s := range []burtree.Strategy{burtree.TopDown, burtree.GeneralizedBottomUp} {
+		if err := run(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+func run(strategy burtree.Strategy) error {
+	idx, err := burtree.OpenConcurrent(burtree.Options{
+		Strategy:        strategy,
+		ExpectedObjects: objects,
+		BufferPages:     256,
+	})
+	if err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(9))
+	for id := uint64(0); id < objects; id++ {
+		if err := idx.Insert(id, burtree.Point{X: rng.Float64(), Y: rng.Float64()}); err != nil {
+			return err
+		}
+	}
+
+	idx.SetIOLatency(ioLatency)
+	defer idx.SetIOLatency(0)
+
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers)
+	start := time.Now()
+	perWorker := objects / workers
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w + 1)))
+			base := uint64(w) * uint64(perWorker) // disjoint object ranges per worker
+			for i := 0; i < opsPerWkr; i++ {
+				if r.Float64() < updateFrac {
+					id := base + uint64(r.Intn(perWorker))
+					cur, ok := idx.Location(id)
+					if !ok {
+						continue
+					}
+					ang := r.Float64() * 2 * math.Pi
+					d := r.Float64() * 0.02
+					np := burtree.Point{X: cur.X + d*math.Cos(ang), Y: cur.Y + d*math.Sin(ang)}
+					if err := idx.Update(id, np); err != nil {
+						errCh <- err
+						return
+					}
+				} else {
+					cx, cy := r.Float64(), r.Float64()
+					if _, err := idx.Count(burtree.NewRect(cx, cy, cx+0.02, cy+0.02)); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	idx.SetIOLatency(0)
+	if err := idx.CheckInvariants(); err != nil {
+		return err
+	}
+	_, cs := idx.Stats()
+	tps := float64(workers*opsPerWkr) / elapsed.Seconds()
+	fmt.Printf("%-22s %8.0f ops/s | %d local updates, %d escalated, %d queries, %d lock timeouts\n",
+		strategy, tps, cs.Local, cs.Escalated, cs.Queries, cs.Timeouts)
+	return nil
+}

@@ -1,0 +1,300 @@
+// Package concurrent provides the multi-threaded access layer for the
+// paper's throughput experiment (§5.4): operations lock DGL granules —
+// a tree-level intention lock plus fine-grained leaf-region granules —
+// before touching the index.
+//
+// Granule layout: granule 0 is the whole tree ("external" granule); the
+// unit square is tiled into an N×N grid whose cells stand in for the
+// paper's leaf granules. Updates take IX on the tree and X on the cells
+// covering the old and new positions; queries take IS on the tree and S
+// on the cells covering the window. Cell ids are acquired in sorted
+// order, which makes the protocol deadlock-free; timeouts remain as a
+// safety net and are surfaced in the stats.
+//
+// Physical integrity is provided by a coarse reader-writer latch: the
+// paper's interest is the throughput effect of cheaper updates (shorter
+// exclusive sections), which this preserves, while queries — the
+// read-heavy end of the mix — run fully in parallel. DESIGN.md records
+// this substitution.
+package concurrent
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"burtree/internal/core"
+	"burtree/internal/dgl"
+	"burtree/internal/geom"
+	"burtree/internal/rtree"
+)
+
+// TreeGranule is the whole-index granule (DGL's external granule).
+const TreeGranule = dgl.GranuleID(0)
+
+// DB wraps an update strategy with DGL locking and a physical latch.
+type DB struct {
+	u       core.Updater
+	lm      *dgl.Manager
+	latch   sync.RWMutex
+	gridN   int
+	timeout time.Duration
+
+	updates   atomic.Int64
+	queries   atomic.Int64
+	timeouts  atomic.Int64
+	retries   atomic.Int64
+	local     atomic.Int64
+	escalated atomic.Int64
+}
+
+// New wraps u with an N×N granule grid. A gridN of 0 defaults to 32.
+func New(u core.Updater, gridN int) *DB {
+	if gridN <= 0 {
+		gridN = 32
+	}
+	return &DB{
+		u:       u,
+		lm:      dgl.NewManager(),
+		gridN:   gridN,
+		timeout: 2 * time.Second,
+	}
+}
+
+// Updater returns the wrapped strategy.
+func (d *DB) Updater() core.Updater { return d.u }
+
+// LockManager exposes the DGL table (for stats and tests).
+func (d *DB) LockManager() *dgl.Manager { return d.lm }
+
+// Stats reports operation and contention counters.
+type Stats struct {
+	Updates   int64
+	Queries   int64
+	Timeouts  int64
+	Retries   int64
+	Local     int64 // updates resolved on the fine-grained path
+	Escalated int64 // updates that required exclusive access
+}
+
+// Stats returns a snapshot of the counters.
+func (d *DB) Stats() Stats {
+	return Stats{
+		Updates:   d.updates.Load(),
+		Queries:   d.queries.Load(),
+		Timeouts:  d.timeouts.Load(),
+		Retries:   d.retries.Load(),
+		Local:     d.local.Load(),
+		Escalated: d.escalated.Load(),
+	}
+}
+
+// cellOf maps a point to its grid granule id (1-based; 0 is the tree).
+func (d *DB) cellOf(p geom.Point) dgl.GranuleID {
+	x := clampCell(p.X, d.gridN)
+	y := clampCell(p.Y, d.gridN)
+	return dgl.GranuleID(1 + y*d.gridN + x)
+}
+
+func clampCell(v float64, n int) int {
+	c := int(v * float64(n))
+	if c < 0 {
+		return 0
+	}
+	if c >= n {
+		return n - 1
+	}
+	return c
+}
+
+// cellsOfRect lists the granules covering r, sorted ascending.
+func (d *DB) cellsOfRect(r geom.Rect) []dgl.GranuleID {
+	x0 := clampCell(r.MinX, d.gridN)
+	x1 := clampCell(r.MaxX, d.gridN)
+	y0 := clampCell(r.MinY, d.gridN)
+	y1 := clampCell(r.MaxY, d.gridN)
+	out := make([]dgl.GranuleID, 0, (x1-x0+1)*(y1-y0+1))
+	for y := y0; y <= y1; y++ {
+		for x := x0; x <= x1; x++ {
+			out = append(out, dgl.GranuleID(1+y*d.gridN+x))
+		}
+	}
+	return out
+}
+
+// pageGranule maps a tree page id into the granule space, above the grid
+// cells so the global acquisition order (tree, cells, pages) is total.
+func (d *DB) pageGranule(p rtree.PageID) dgl.GranuleID {
+	return dgl.GranuleID(1<<32) + dgl.GranuleID(p)
+}
+
+// Update moves an object. Bottom-up strategies first attempt the local
+// path in parallel: IX on the tree, X on the movement cells, X on the
+// object's leaf and parent page granules, all under the shared physical
+// latch — two local updates below different parents proceed
+// concurrently, which is the behaviour that gives GBU its throughput
+// edge in the paper's §5.4 study. When the strategy cannot resolve the
+// update locally (ascent, top-down fallback) or does not support local
+// updates at all (TD), the operation escalates to X on the tree granule
+// plus the exclusive latch.
+func (d *DB) Update(oid rtree.OID, old, new geom.Point) error {
+	cells := []dgl.GranuleID{d.cellOf(old), d.cellOf(new)}
+	if cells[0] == cells[1] {
+		cells = cells[:1]
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
+
+	if lu, ok := d.u.(core.LocalUpdater); ok {
+		done, err := d.tryLocal(lu, oid, old, new, cells)
+		if done || err != nil {
+			if err == nil {
+				d.updates.Add(1)
+				d.local.Add(1)
+			}
+			return err
+		}
+	}
+
+	// Escalate: exclusive over the whole index.
+	const maxAttempts = 8
+	for attempt := 0; ; attempt++ {
+		txn := d.lm.Begin()
+		err := d.lm.Acquire(txn, TreeGranule, dgl.X, d.timeout)
+		if err == nil {
+			d.latch.Lock()
+			err = d.u.Update(oid, old, new)
+			d.latch.Unlock()
+			d.lm.ReleaseAll(txn)
+			if err == nil {
+				d.updates.Add(1)
+				d.escalated.Add(1)
+			}
+			return err
+		}
+		d.lm.ReleaseAll(txn)
+		d.timeouts.Add(1)
+		if attempt+1 >= maxAttempts {
+			return fmt.Errorf("concurrent: update %d: %w", oid, err)
+		}
+		d.retries.Add(1)
+	}
+}
+
+// tryLocal attempts the fine-grained path: lock the movement cells and
+// the leaf/parent page granules, re-validate the scope (the object may
+// have moved leaves between lookup and lock), then run the strategy's
+// local update under the shared latch.
+func (d *DB) tryLocal(lu core.LocalUpdater, oid rtree.OID, old, new geom.Point, cells []dgl.GranuleID) (bool, error) {
+	const maxAttempts = 8
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		d.latch.RLock()
+		scope, err := lu.LocalScope(oid)
+		d.latch.RUnlock()
+		if err != nil {
+			// Unknown object or bookkeeping failure: let the exclusive
+			// path produce the definitive error.
+			return false, nil
+		}
+		granules := make([]dgl.GranuleID, 0, len(scope))
+		for _, p := range scope {
+			granules = append(granules, d.pageGranule(p))
+		}
+		sort.Slice(granules, func(i, j int) bool { return granules[i] < granules[j] })
+
+		txn := d.lm.Begin()
+		if err := d.lockAll(txn, dgl.IX, dgl.X, append(append([]dgl.GranuleID{}, cells...), granules...)); err != nil {
+			d.lm.ReleaseAll(txn)
+			d.timeouts.Add(1)
+			d.retries.Add(1)
+			continue
+		}
+		// Re-validate under the locks.
+		d.latch.RLock()
+		scope2, err := lu.LocalScope(oid)
+		if err != nil || !samePages(scope, scope2) {
+			d.latch.RUnlock()
+			d.lm.ReleaseAll(txn)
+			if err != nil {
+				return false, nil
+			}
+			d.retries.Add(1)
+			continue
+		}
+		done, err := lu.TryLocalUpdate(oid, old, new)
+		d.latch.RUnlock()
+		d.lm.ReleaseAll(txn)
+		return done, err
+	}
+	return false, nil // give up on the fine path; escalate
+}
+
+func samePages(a, b []rtree.PageID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Insert adds an object under IX(tree) + X(cell).
+func (d *DB) Insert(oid rtree.OID, p geom.Point) error {
+	txn := d.lm.Begin()
+	defer d.lm.ReleaseAll(txn)
+	if err := d.lockAll(txn, dgl.IX, dgl.X, []dgl.GranuleID{d.cellOf(p)}); err != nil {
+		return err
+	}
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	return d.u.Insert(oid, p)
+}
+
+// Delete removes an object under IX(tree) + X(cell).
+func (d *DB) Delete(oid rtree.OID, at geom.Point) error {
+	txn := d.lm.Begin()
+	defer d.lm.ReleaseAll(txn)
+	if err := d.lockAll(txn, dgl.IX, dgl.X, []dgl.GranuleID{d.cellOf(at)}); err != nil {
+		return err
+	}
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	return d.u.Delete(oid, at)
+}
+
+// Query counts the objects in the window under IS(tree) + S(cells).
+// Phantom protection: any update that could move an object into or out
+// of the window must take X on one of these cells first.
+func (d *DB) Query(q geom.Rect) (int, error) {
+	txn := d.lm.Begin()
+	defer d.lm.ReleaseAll(txn)
+	if err := d.lockAll(txn, dgl.IS, dgl.S, d.cellsOfRect(q)); err != nil {
+		return 0, err
+	}
+	d.latch.RLock()
+	defer d.latch.RUnlock()
+	count := 0
+	err := d.u.Search(q, func(rtree.OID, geom.Rect) bool {
+		count++
+		return true
+	})
+	d.queries.Add(1)
+	return count, err
+}
+
+// lockAll takes the tree intention lock then the cell locks in order.
+func (d *DB) lockAll(txn *dgl.Txn, treeMode, cellMode dgl.Mode, cells []dgl.GranuleID) error {
+	if err := d.lm.Acquire(txn, TreeGranule, treeMode, d.timeout); err != nil {
+		return err
+	}
+	for _, c := range cells {
+		if err := d.lm.Acquire(txn, c, cellMode, d.timeout); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,190 @@
+package concurrent
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"burtree/internal/buffer"
+	"burtree/internal/core"
+	"burtree/internal/geom"
+	"burtree/internal/pagestore"
+	"burtree/internal/rtree"
+	"burtree/internal/stats"
+)
+
+func newDB(t testing.TB, kind core.Kind, n int) (*DB, []geom.Point) {
+	t.Helper()
+	store := pagestore.New(1024, &stats.IO{})
+	pool := buffer.New(store, 64)
+	u, err := core.New(pool, core.Options{Strategy: kind, ExpectedObjects: n, Tree: rtree.Config{ReinsertFraction: 0.3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := New(u, 16)
+	rng := rand.New(rand.NewSource(5))
+	pos := make([]geom.Point, n)
+	for i := range pos {
+		pos[i] = geom.Point{X: rng.Float64(), Y: rng.Float64()}
+		if err := db.Insert(rtree.OID(i), pos[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db, pos
+}
+
+func TestCellMapping(t *testing.T) {
+	db := New(nil, 4)
+	if c := db.cellOf(geom.Point{X: 0, Y: 0}); c != 1 {
+		t.Fatalf("cell(0,0) = %d, want 1", c)
+	}
+	if c := db.cellOf(geom.Point{X: 0.99, Y: 0.99}); int(c) != 1+3*4+3 {
+		t.Fatalf("cell(.99,.99) = %d", c)
+	}
+	// Out-of-square positions clamp to edge cells.
+	if c := db.cellOf(geom.Point{X: -5, Y: 2}); int(c) != 1+3*4+0 {
+		t.Fatalf("cell(-5,2) = %d", c)
+	}
+	// The rect spans x cells 0-1 and y cells 0-1 at N=4: four granules.
+	cells := db.cellsOfRect(geom.Rect{MinX: 0.1, MinY: 0.1, MaxX: 0.4, MaxY: 0.3})
+	if len(cells) != 4 {
+		t.Fatalf("cells covering rect = %v", cells)
+	}
+	for i := 1; i < len(cells); i++ {
+		if cells[i] <= cells[i-1] {
+			t.Fatalf("cells not sorted: %v", cells)
+		}
+	}
+}
+
+func TestConcurrentMixedLoad(t *testing.T) {
+	for _, kind := range []core.Kind{core.TD, core.GBU} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			const n = 1500
+			db, pos := newDB(t, kind, n)
+			var oidLocks [64]sync.Mutex
+			var wg sync.WaitGroup
+			const workers = 8
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(100 + w)))
+					for i := 0; i < 150; i++ {
+						if rng.Float64() < 0.5 {
+							oid := rng.Intn(n)
+							lk := &oidLocks[oid%len(oidLocks)]
+							lk.Lock()
+							old := pos[oid]
+							np := geom.Point{X: old.X + (rng.Float64()-0.5)*0.05, Y: old.Y + (rng.Float64()-0.5)*0.05}
+							if err := db.Update(rtree.OID(oid), old, np); err != nil {
+								t.Error(err)
+								lk.Unlock()
+								return
+							}
+							pos[oid] = np
+							lk.Unlock()
+						} else {
+							x, y := rng.Float64(), rng.Float64()
+							q := geom.Rect{MinX: x, MinY: y, MaxX: x + 0.05, MaxY: y + 0.05}
+							if _, err := db.Query(q); err != nil {
+								t.Error(err)
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			if err := db.Updater().Err(); err != nil {
+				t.Fatal(err)
+			}
+			if err := db.Updater().Tree().CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if db.Updater().Tree().Size() != n {
+				t.Fatalf("size = %d, want %d", db.Updater().Tree().Size(), n)
+			}
+			s := db.Stats()
+			if s.Updates == 0 || s.Queries == 0 {
+				t.Fatalf("stats = %+v", s)
+			}
+			if s.Timeouts > s.Updates/10 {
+				t.Fatalf("excessive lock timeouts: %+v", s)
+			}
+		})
+	}
+}
+
+func TestQueryCountsMatchAfterQuiescence(t *testing.T) {
+	const n = 800
+	db, pos := newDB(t, core.GBU, n)
+	// Serial correctness check through the locked interface.
+	q := geom.Rect{MinX: 0.2, MinY: 0.2, MaxX: 0.6, MaxY: 0.6}
+	want := 0
+	for _, p := range pos {
+		if q.ContainsPoint(p) {
+			want++
+		}
+	}
+	got, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("query = %d, want %d", got, want)
+	}
+}
+
+func TestInsertDeleteUnderLocks(t *testing.T) {
+	db, _ := newDB(t, core.GBU, 200)
+	p := geom.Point{X: 0.5, Y: 0.5}
+	if err := db.Insert(9999, p); err != nil {
+		t.Fatal(err)
+	}
+	if db.Updater().Tree().Size() != 201 {
+		t.Fatalf("size after insert = %d", db.Updater().Tree().Size())
+	}
+	if err := db.Delete(9999, p); err != nil {
+		t.Fatal(err)
+	}
+	if db.Updater().Tree().Size() != 200 {
+		t.Fatalf("size after delete = %d", db.Updater().Tree().Size())
+	}
+}
+
+func TestTDAlwaysEscalates(t *testing.T) {
+	db, pos := newDB(t, core.TD, 300)
+	for i := 0; i < 50; i++ {
+		old := pos[i]
+		np := geom.Point{X: old.X + 0.01, Y: old.Y}
+		if err := db.Update(rtree.OID(i), old, np); err != nil {
+			t.Fatal(err)
+		}
+		pos[i] = np
+	}
+	s := db.Stats()
+	if s.Local != 0 || s.Escalated != 50 {
+		t.Fatalf("TD stats = %+v; every update must escalate", s)
+	}
+}
+
+func TestGBUMostlyLocalUnderLocality(t *testing.T) {
+	db, pos := newDB(t, core.GBU, 2000)
+	for i := 0; i < 400; i++ {
+		old := pos[i]
+		np := geom.Point{X: old.X + 0.001, Y: old.Y + 0.001}
+		if err := db.Update(rtree.OID(i), old, np); err != nil {
+			t.Fatal(err)
+		}
+		pos[i] = np
+	}
+	s := db.Stats()
+	if s.Local < 300 {
+		t.Fatalf("GBU local = %d of 400 tiny moves; want most local (%+v)", s.Local, s)
+	}
+	if err := db.Updater().Tree().CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,434 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"burtree/internal/geom"
+	"burtree/internal/hashindex"
+	"burtree/internal/rtree"
+	"burtree/internal/summary"
+)
+
+// gbuStrategy is the Generalized Bottom-Up update of Algorithm 2. It
+// keeps the R-tree structure intact and adds the main-memory summary
+// structure for parent access, sibling screening and query planning.
+type gbuStrategy struct {
+	tree    *rtree.Tree
+	hash    *hashindex.Index
+	sum     *summary.Structure
+	adapter *hashAdapter
+	opts    Options
+
+	out outcomeCounters
+}
+
+var (
+	_ Updater      = (*gbuStrategy)(nil)
+	_ LocalUpdater = (*gbuStrategy)(nil)
+)
+
+func (s *gbuStrategy) Name() string { return "GBU" }
+
+func (s *gbuStrategy) Tree() *rtree.Tree { return s.tree }
+
+func (s *gbuStrategy) Summary() *summary.Structure { return s.sum }
+
+func (s *gbuStrategy) Outcomes() Outcomes { return s.out.snapshot() }
+
+func (s *gbuStrategy) Err() error { return s.adapter.Err() }
+
+func (s *gbuStrategy) Insert(oid rtree.OID, p geom.Point) error {
+	if err := s.tree.Insert(oid, geom.RectFromPoint(p)); err != nil {
+		return err
+	}
+	return s.adapter.Err()
+}
+
+// Delete removes an object bottom-up when no underflow threatens,
+// falling back to the standard top-down delete otherwise.
+func (s *gbuStrategy) Delete(oid rtree.OID, at geom.Point) error {
+	t := s.tree
+	if t.Height() <= 1 {
+		return t.Delete(oid, geom.RectFromPoint(at))
+	}
+	leafPage, err := s.hash.Lookup(oid)
+	if err != nil {
+		return fmt.Errorf("gbu: delete %d: %w", oid, err)
+	}
+	leaf, err := t.ReadNode(leafPage)
+	if err != nil {
+		return err
+	}
+	li := leaf.FindOID(oid)
+	if li < 0 {
+		return fmt.Errorf("gbu: delete %d: hash points to leaf %d but entry is missing", oid, leafPage)
+	}
+	if len(leaf.Entries)-1 < t.MinEntries() {
+		if err := t.Delete(oid, leaf.Entries[li].Rect); err != nil {
+			return err
+		}
+		return s.adapter.Err()
+	}
+	leaf.RemoveEntry(li)
+	if err := t.WriteNode(leaf); err != nil {
+		return err
+	}
+	t.AdjustSize(-1)
+	t.NotifyDataRemoved(oid)
+	return s.adapter.Err()
+}
+
+// Search answers a window query. With the summary structure enabled, all
+// internal-level overlap tests are resolved in memory (§3.2: "Equipped
+// with knowledge of which index nodes above the leaf level to read from
+// disk, we carry on with the query as usual"), so only the overlapping
+// parent-of-leaf nodes and leaves are read.
+func (s *gbuStrategy) Search(q geom.Rect, visit func(rtree.OID, geom.Rect) bool) error {
+	t := s.tree
+	if s.opts.NoSummaryQueries || t.Height() <= 1 {
+		return t.Search(q, visit)
+	}
+	pages := s.sum.OverlappingAtLevel(1, q, nil)
+	for _, pg := range pages {
+		n, err := t.ReadNode(pg)
+		if err != nil {
+			return err
+		}
+		for _, e := range n.Entries {
+			if !q.Intersects(e.Rect) {
+				continue
+			}
+			leaf, err := t.ReadNode(e.Child)
+			if err != nil {
+				return err
+			}
+			for _, le := range leaf.Entries {
+				if q.Intersects(le.Rect) {
+					if !visit(le.OID, le.Rect) {
+						return nil
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// localOutcome classifies the result of the local phase of Algorithm 2.
+type localOutcome int
+
+const (
+	localDone   localOutcome = iota // resolved in-leaf / extend / shift
+	needTopDown                     // full top-down fallback required
+	needAscend                      // must re-insert below a bounding ancestor
+)
+
+// Update implements Algorithm 2 (Generalized Bottom-Up Update).
+func (s *gbuStrategy) Update(oid rtree.OID, old, new geom.Point) error {
+	if err := s.update(oid, old, new); err != nil {
+		return err
+	}
+	return s.adapter.Err()
+}
+
+func (s *gbuStrategy) update(oid rtree.OID, old, new geom.Point) error {
+	t := s.tree
+	newRect := geom.RectFromPoint(new)
+
+	res, leaf, li, err := s.attemptLocal(oid, old, new, newRect)
+	if err != nil {
+		return err
+	}
+	switch res {
+	case localDone:
+		return nil
+	case needTopDown:
+		s.out.topDown.Add(1)
+		oldRect := geom.RectFromPoint(old)
+		if leaf != nil {
+			oldRect = leaf.Entries[li].Rect // authoritative stored location
+		}
+		return t.Update(oid, oldRect, newRect)
+	}
+
+	// "ancestor = FindParent(node, newLocation); issue a standard R-tree
+	// insert at the ancestor node." The ancestor chain comes from the
+	// summary table, so the ascent itself costs no disk reads.
+	lambda := effectiveLevelThreshold(s.opts.LevelThreshold, t.Height())
+	fp, err := s.sum.FindParent(leaf.Page, new, lambda)
+	if err != nil {
+		return err
+	}
+	leaf.RemoveEntry(li)
+	if err := t.WriteNode(leaf); err != nil {
+		return err
+	}
+	if err := t.InsertEntryAt(fp.PathAbove, fp.Ancestor, rtree.Entry{Rect: newRect, OID: oid}, 0); err != nil {
+		return err
+	}
+	s.out.ascended.Add(1)
+	return nil
+}
+
+// attemptLocal runs the local phase of Algorithm 2: the root-MBR check,
+// the in-leaf case, and the δ-ordered extension/shift attempts. It
+// performs no tree mutation unless it fully resolves the update
+// (returning localDone); for the other outcomes the returned leaf/index
+// (when non-nil) locate the still-unmodified entry.
+func (s *gbuStrategy) attemptLocal(oid rtree.OID, old, new geom.Point, newRect geom.Rect) (localOutcome, *rtree.Node, int, error) {
+	t := s.tree
+
+	// Trees of height 1 have no internal structure to exploit.
+	if t.Height() <= 1 {
+		return needTopDown, nil, 0, nil
+	}
+
+	// "Access the root entry in direct access table; if newLocation lies
+	// outside rootMBR: issue a top-down update." No disk access needed.
+	rootMBR, ok := s.sum.RootMBR()
+	if !ok {
+		return needTopDown, nil, 0, fmt.Errorf("gbu: update %d: summary has no root MBR", oid)
+	}
+	if !rootMBR.ContainsPoint(new) {
+		return needTopDown, nil, 0, nil
+	}
+
+	// "Locate via the secondary object-ID index the leaf node."
+	leafPage, err := s.hash.Lookup(oid)
+	if err != nil {
+		return needTopDown, nil, 0, fmt.Errorf("gbu: update %d: %w", oid, err)
+	}
+	leaf, err := t.ReadNode(leafPage)
+	if err != nil {
+		return needTopDown, nil, 0, err
+	}
+	li := leaf.FindOID(oid)
+	if li < 0 {
+		return needTopDown, nil, 0, fmt.Errorf("gbu: update %d: hash points to leaf %d but entry is missing", oid, leafPage)
+	}
+
+	// "if newLocation lies within leafMBR: update in place."
+	if leaf.Self.ContainsPoint(new) {
+		leaf.Entries[li].Rect = newRect
+		s.out.inLeaf.Add(1)
+		return localDone, leaf, li, t.WriteNode(leaf)
+	}
+
+	// Distance threshold δ: slow movers extend first, fast movers try a
+	// sibling shift first (§3.2.1 optimization 2).
+	slow := geom.Dist(old, new) <= s.opts.DistanceThreshold
+	wouldUnderflow := len(leaf.Entries)-1 < t.MinEntries()
+
+	if slow {
+		done, err := s.tryExtend(leaf, li, new, newRect)
+		if err != nil {
+			return needTopDown, leaf, li, err
+		}
+		if done {
+			return localDone, leaf, li, nil
+		}
+		if wouldUnderflow {
+			return needTopDown, leaf, li, nil
+		}
+		done, err = s.tryShift(leaf, li, new, newRect)
+		if err != nil {
+			return needTopDown, leaf, li, err
+		}
+		if done {
+			return localDone, leaf, li, nil
+		}
+		return needAscend, leaf, li, nil
+	}
+
+	if !wouldUnderflow {
+		done, err := s.tryShift(leaf, li, new, newRect)
+		if err != nil {
+			return needTopDown, leaf, li, err
+		}
+		if done {
+			return localDone, leaf, li, nil
+		}
+	}
+	done, err := s.tryExtend(leaf, li, new, newRect)
+	if err != nil {
+		return needTopDown, leaf, li, err
+	}
+	if done {
+		return localDone, leaf, li, nil
+	}
+	if wouldUnderflow {
+		return needTopDown, leaf, li, nil
+	}
+	return needAscend, leaf, li, nil
+}
+
+// LocalScope returns the page granules a local update of oid would
+// touch — the object's leaf and its parent (sibling shifts stay within
+// the same parent, so the parent granule covers them). Used by the DGL
+// concurrency layer to lock before calling TryLocalUpdate.
+func (s *gbuStrategy) LocalScope(oid rtree.OID) ([]rtree.PageID, error) {
+	leafPage, err := s.hash.Lookup(oid)
+	if err != nil {
+		return nil, err
+	}
+	parent, ok := s.sum.ParentOf(leafPage)
+	if !ok {
+		return []rtree.PageID{leafPage}, nil
+	}
+	return []rtree.PageID{leafPage, parent}, nil
+}
+
+// TryLocalUpdate attempts the local phase only (in-leaf, ε-extension,
+// sibling shift). It reports false without modifying the tree when the
+// update needs an ascent or a top-down fallback; the caller then retries
+// under exclusive access with Update.
+func (s *gbuStrategy) TryLocalUpdate(oid rtree.OID, old, new geom.Point) (bool, error) {
+	res, _, _, err := s.attemptLocal(oid, old, new, geom.RectFromPoint(new))
+	if err != nil {
+		return false, err
+	}
+	if res != localDone {
+		return false, nil
+	}
+	return true, s.adapter.Err()
+}
+
+// tryExtend is Algorithm 4 (iExtendMBR): enlarge the leaf MBR only in
+// the direction of movement, by at most ε per side, clipped by the
+// parent's MBR — which the summary table provides without disk access.
+// On success both the leaf and its parent's mirroring entry are written.
+func (s *gbuStrategy) tryExtend(leaf *rtree.Node, li int, new geom.Point, newRect geom.Rect) (bool, error) {
+	t := s.tree
+	parentPage, ok := s.sum.ParentOf(leaf.Page)
+	if !ok {
+		return false, fmt.Errorf("gbu: no parent recorded for leaf %d", leaf.Page)
+	}
+	parentMBR, ok := s.sum.MBROf(parentPage)
+	if !ok {
+		return false, fmt.Errorf("gbu: no summary MBR for node %d", parentPage)
+	}
+	iMBR := geom.ExtendToward(leaf.Self, new, s.opts.Epsilon, parentMBR)
+	if !iMBR.ContainsPoint(new) {
+		return false, nil
+	}
+	leaf.Self = iMBR
+	leaf.Entries[li].Rect = newRect
+	if err := t.WriteNode(leaf); err != nil {
+		return false, err
+	}
+	parent, err := t.ReadNode(parentPage)
+	if err != nil {
+		return false, err
+	}
+	pi := parent.FindChild(leaf.Page)
+	if pi < 0 {
+		return false, fmt.Errorf("gbu: parent %d missing child %d", parentPage, leaf.Page)
+	}
+	parent.Entries[pi].Rect = iMBR
+	if err := t.WriteNode(parent); err != nil {
+		return false, err
+	}
+	s.out.extended.Add(1)
+	return true, nil
+}
+
+// tryShift moves the object into a sibling leaf whose MBR already covers
+// the new location. The summary bit vector screens out full siblings
+// before any disk access; co-located objects are piggybacked across and
+// the source leaf's MBR is tightened (§3.2.1 optimization 4).
+func (s *gbuStrategy) tryShift(leaf *rtree.Node, li int, new geom.Point, newRect geom.Rect) (bool, error) {
+	t := s.tree
+	parentPage, ok := s.sum.ParentOf(leaf.Page)
+	if !ok {
+		return false, fmt.Errorf("gbu: no parent recorded for leaf %d", leaf.Page)
+	}
+	// The summary table answers "could any sibling contain the new
+	// location?" without disk access: every sibling MBR lies inside the
+	// parent's MBR, so a location outside it cannot be shifted to — skip
+	// the parent read entirely (§3.2: the table gives quick access to a
+	// node's parent).
+	if pmbr, ok := s.sum.MBROf(parentPage); ok && !pmbr.ContainsPoint(new) {
+		return false, nil
+	}
+	parent, err := t.ReadNode(parentPage)
+	if err != nil {
+		return false, err
+	}
+
+	best, bestArea := -1, math.MaxFloat64
+	for i := range parent.Entries {
+		pg := parent.Entries[i].Child
+		if pg == leaf.Page || !parent.Entries[i].Rect.ContainsPoint(new) {
+			continue
+		}
+		if s.sum.IsLeafFull(pg) {
+			continue
+		}
+		if a := parent.Entries[i].Rect.Area(); a < bestArea {
+			best, bestArea = i, a
+		}
+	}
+	if best < 0 {
+		return false, nil
+	}
+	sibPage := parent.Entries[best].Child
+	sib, err := t.ReadNode(sibPage)
+	if err != nil {
+		return false, err
+	}
+	if len(sib.Entries) >= t.MaxEntries() {
+		return false, nil // stale bit; never overflow a sibling
+	}
+
+	oid := leaf.Entries[li].OID
+	leaf.RemoveEntry(li)
+	sib.Entries = append(sib.Entries, rtree.Entry{Rect: newRect, OID: oid})
+
+	var passengers []rtree.OID
+	if !s.opts.NoPiggyback {
+		for j := len(leaf.Entries) - 1; j >= 0; j-- {
+			if len(sib.Entries) >= t.MaxEntries() || len(leaf.Entries) <= t.MinEntries() {
+				break
+			}
+			if sib.Self.ContainsRect(leaf.Entries[j].Rect) {
+				sib.Entries = append(sib.Entries, leaf.Entries[j])
+				passengers = append(passengers, leaf.Entries[j].OID)
+				leaf.RemoveEntry(j)
+			}
+		}
+	}
+
+	// "After a shift, the leaf's MBR is tightened to reduce overlap."
+	// The sibling is written before the source leaf so a concurrent
+	// query (running under the DGL cell locks of its own window) can
+	// never observe a moment where the shifted objects are in neither
+	// page; a transient duplicate is the benign direction.
+	leaf.Self = leaf.EntriesMBR()
+	if err := t.WriteNode(sib); err != nil {
+		return false, err
+	}
+	if err := t.WriteNode(leaf); err != nil {
+		return false, err
+	}
+	pi := parent.FindChild(leaf.Page)
+	if pi < 0 {
+		return false, fmt.Errorf("gbu: parent %d missing child %d", parentPage, leaf.Page)
+	}
+	parent.Entries[pi].Rect = leaf.Self
+	if err := t.WriteNode(parent); err != nil {
+		return false, err
+	}
+
+	if err := s.hash.Set(oid, sibPage); err != nil {
+		return false, err
+	}
+	for _, p := range passengers {
+		if err := s.hash.Set(p, sibPage); err != nil {
+			return false, err
+		}
+	}
+	s.out.shifted.Add(1)
+	s.out.piggyback.Add(int64(len(passengers)))
+	return true, nil
+}

@@ -1,0 +1,24 @@
+package core
+
+import "sync/atomic"
+
+// outcomeCounters is the concurrent-safe backing store for Outcomes.
+type outcomeCounters struct {
+	inLeaf    atomic.Int64
+	extended  atomic.Int64
+	shifted   atomic.Int64
+	piggyback atomic.Int64
+	ascended  atomic.Int64
+	topDown   atomic.Int64
+}
+
+func (c *outcomeCounters) snapshot() Outcomes {
+	return Outcomes{
+		InLeaf:    c.inLeaf.Load(),
+		Extended:  c.extended.Load(),
+		Shifted:   c.shifted.Load(),
+		Piggyback: c.piggyback.Load(),
+		Ascended:  c.ascended.Load(),
+		TopDown:   c.topDown.Load(),
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+
+	"burtree/internal/buffer"
+	"burtree/internal/rtree"
+)
+
+// RestoreState carries the metadata needed to re-attach a strategy to a
+// reloaded page store: the tree's root/height/size and, for the
+// bottom-up strategies, the hash-index directory. The summary structure
+// is not persisted — it is main-memory only in the paper too — and is
+// rebuilt from the tree in one walk.
+type RestoreState struct {
+	Root   rtree.PageID
+	Height int
+	Size   int
+
+	HashDirectory []rtree.PageID
+	HashSize      int
+}
+
+// Restore builds a strategy over an existing page store (reachable
+// through pool) and re-attaches it to the persisted structures.
+func Restore(pool *buffer.Pool, opts Options, st RestoreState) (Updater, error) {
+	u, err := New(pool, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := u.Tree().Restore(st.Root, st.Height, st.Size); err != nil {
+		return nil, err
+	}
+	switch s := u.(type) {
+	case *tdStrategy:
+		// No auxiliary structures.
+	case *lbuStrategy:
+		if err := s.hash.RestoreDirectory(st.HashDirectory, st.HashSize); err != nil {
+			return nil, err
+		}
+	case *naiveStrategy:
+		if err := s.hash.RestoreDirectory(st.HashDirectory, st.HashSize); err != nil {
+			return nil, err
+		}
+	case *gbuStrategy:
+		if err := s.hash.RestoreDirectory(st.HashDirectory, st.HashSize); err != nil {
+			return nil, err
+		}
+		if err := s.sum.Rebuild(s.tree); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("core: restore: unsupported strategy %T", u)
+	}
+	return u, nil
+}
+
+// SaveState extracts the RestoreState of a live strategy. The caller is
+// responsible for flushing the buffer pool before dumping the store.
+func SaveState(u Updater) (RestoreState, error) {
+	st := RestoreState{
+		Root:   u.Tree().Root(),
+		Height: u.Tree().Height(),
+		Size:   u.Tree().Size(),
+	}
+	switch s := u.(type) {
+	case *tdStrategy:
+	case *lbuStrategy:
+		st.HashDirectory = s.hash.Directory()
+		st.HashSize = s.hash.Size()
+	case *naiveStrategy:
+		st.HashDirectory = s.hash.Directory()
+		st.HashSize = s.hash.Size()
+	case *gbuStrategy:
+		st.HashDirectory = s.hash.Directory()
+		st.HashSize = s.hash.Size()
+	default:
+		return st, fmt.Errorf("core: save: unsupported strategy %T", u)
+	}
+	return st, nil
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"burtree/internal/buffer"
+	"burtree/internal/geom"
+	"burtree/internal/pagestore"
+	"burtree/internal/rtree"
+	"burtree/internal/stats"
+)
+
+// rebuildStore round-trips a store through Dump/NewFromDump.
+func rebuildStore(t *testing.T, s *pagestore.Store) *pagestore.Store {
+	t.Helper()
+	ps, pages, freed := s.Dump()
+	out, err := pagestore.NewFromDump(ps, pages, freed, &stats.IO{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCoreSaveRestoreEveryStrategy(t *testing.T) {
+	for _, kind := range []Kind{TD, LBU, GBU, Naive} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			opts := Options{Strategy: kind, ExpectedObjects: 800}
+			u := newUpdater(t, 512, 8, opts)
+			w := newWorld(71)
+			w.populate(t, u, 800)
+			for i := 0; i < 1200; i++ {
+				w.move(t, u, 0.04)
+			}
+			if err := u.Tree().Flush(); err != nil {
+				t.Fatal(err)
+			}
+			st, err := SaveState(u)
+			if err != nil {
+				t.Fatal(err)
+			}
+			store2 := rebuildStore(t, u.Tree().Pool().Store())
+			pool2 := buffer.New(store2, 8)
+			u2, err := Restore(pool2, opts, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			validateAll(t, u2)
+			if u2.Tree().Size() != 800 {
+				t.Fatalf("restored size = %d", u2.Tree().Size())
+			}
+			// The restored strategy keeps working with full bottom-up
+			// machinery: run more moves and compare searches with the
+			// original.
+			w2 := &world{rng: w.rng, pos: map[rtree.OID]geom.Point{}, ids: w.ids}
+			for oid, p := range w.pos {
+				w2.pos[oid] = p
+			}
+			for i := 0; i < 800; i++ {
+				oid := w2.ids[w2.rng.Intn(len(w2.ids))]
+				old := w2.pos[oid]
+				np := geom.Point{X: old.X + 0.01, Y: old.Y - 0.01}
+				if err := u2.Update(oid, old, np); err != nil {
+					t.Fatalf("post-restore update: %v", err)
+				}
+				w2.pos[oid] = np
+			}
+			validateAll(t, u2)
+			checkSearchMatches(t, u2, w2, 15)
+		})
+	}
+}
+
+func TestRestoreEmpty(t *testing.T) {
+	opts := Options{Strategy: GBU, ExpectedObjects: 16}
+	store := pagestore.New(512, &stats.IO{})
+	pool := buffer.New(store, 0)
+	u, err := Restore(pool, opts, RestoreState{HashDirectory: []rtree.PageID{pagestore.InvalidPage}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.Tree().Size() != 0 || u.Tree().Height() != 0 {
+		t.Fatalf("empty restore: size=%d height=%d", u.Tree().Size(), u.Tree().Height())
+	}
+	if err := u.Insert(1, geom.Point{X: 0.5, Y: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	validateAll(t, u)
+}
+
+func TestRestoreRejectsBadMetadata(t *testing.T) {
+	u := newUpdater(t, 512, 0, Options{Strategy: GBU, ExpectedObjects: 100})
+	w := newWorld(72)
+	w.populate(t, u, 100)
+	if err := u.Tree().Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := SaveState(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store2 := rebuildStore(t, u.Tree().Pool().Store())
+	pool2 := buffer.New(store2, 0)
+
+	bad := st
+	bad.Height = st.Height + 2 // root level will not match
+	if _, err := Restore(pool2, Options{Strategy: GBU, ExpectedObjects: 100}, bad); err == nil {
+		t.Fatal("bad height accepted")
+	}
+
+	store3 := rebuildStore(t, u.Tree().Pool().Store())
+	pool3 := buffer.New(store3, 0)
+	bad2 := st
+	bad2.Root = 999999 // out of range page
+	if _, err := Restore(pool3, Options{Strategy: GBU, ExpectedObjects: 100}, bad2); err == nil {
+		t.Fatal("bad root accepted")
+	}
+}

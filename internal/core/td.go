@@ -1,0 +1,45 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"burtree/internal/geom"
+	"burtree/internal/rtree"
+)
+
+// tdStrategy is the traditional top-down update: the paper's baseline.
+// Every update performs a full top-down delete followed by a full
+// top-down insert; no secondary structures are maintained.
+type tdStrategy struct {
+	tree    *rtree.Tree
+	topDown atomic.Int64
+}
+
+var _ Updater = (*tdStrategy)(nil)
+
+func (s *tdStrategy) Name() string { return "TD" }
+
+func (s *tdStrategy) Insert(oid rtree.OID, p geom.Point) error {
+	return s.tree.Insert(oid, geom.RectFromPoint(p))
+}
+
+func (s *tdStrategy) Update(oid rtree.OID, old, new geom.Point) error {
+	s.topDown.Add(1)
+	return s.tree.Update(oid, geom.RectFromPoint(old), geom.RectFromPoint(new))
+}
+
+func (s *tdStrategy) Delete(oid rtree.OID, at geom.Point) error {
+	return s.tree.Delete(oid, geom.RectFromPoint(at))
+}
+
+func (s *tdStrategy) Search(q geom.Rect, visit func(rtree.OID, geom.Rect) bool) error {
+	return s.tree.Search(q, visit)
+}
+
+func (s *tdStrategy) Tree() *rtree.Tree { return s.tree }
+
+func (s *tdStrategy) Outcomes() Outcomes {
+	return Outcomes{TopDown: s.topDown.Load()}
+}
+
+func (s *tdStrategy) Err() error { return nil }

@@ -1,0 +1,188 @@
+// Package costmodel implements the analytical cost model of the paper's
+// §4: the expected number of disk accesses for window queries over an
+// R-tree (Lemmas 1–2, Theorem 1), the derived cost of a top-down update,
+// and the expected cost of a generalized bottom-up update as a function
+// of the distance moved.
+//
+// The data space is the unit square; window and node extents are given
+// as side lengths. The model's punchline, reproduced by the tests and
+// the cost benchmarks: the worst case of the bottom-up update is bounded
+// by the best case of the top-down update (B ≤ T when T = 2h+1 and the
+// object moves the maximum distance √2).
+package costmodel
+
+import (
+	"fmt"
+	"math"
+
+	"burtree/internal/rtree"
+)
+
+// ProbPointInWindow is Lemma 1: the probability that a uniformly placed
+// point falls inside a window of size x × y in the unit square.
+func ProbPointInWindow(x, y float64) float64 {
+	return clampProb(x * y)
+}
+
+// ProbWindowsOverlap is Lemma 2: the probability that two uniformly
+// placed windows of sizes x1 × y1 and x2 × y2 overlap.
+func ProbWindowsOverlap(x1, y1, x2, y2 float64) float64 {
+	return clampProb((x1 + x2) * (y1 + y2))
+}
+
+func clampProb(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// NodeExtent is the size of one node's MBR.
+type NodeExtent struct {
+	W, H float64
+}
+
+// TreeProfile captures the per-level node extents of a tree: Levels[l]
+// lists the MBR sizes of all nodes at level l (0 = leaves).
+type TreeProfile struct {
+	Levels [][]NodeExtent
+}
+
+// Height returns the number of levels in the profile.
+func (p *TreeProfile) Height() int { return len(p.Levels) }
+
+// ProfileTree walks a live tree and extracts its level profile.
+func ProfileTree(t *rtree.Tree) (*TreeProfile, error) {
+	p := &TreeProfile{Levels: make([][]NodeExtent, t.Height())}
+	if t.Height() == 0 {
+		return p, nil
+	}
+	var walk func(page rtree.PageID) error
+	walk = func(page rtree.PageID) error {
+		n, err := t.ReadNode(page)
+		if err != nil {
+			return err
+		}
+		p.Levels[n.Level] = append(p.Levels[n.Level], NodeExtent{W: n.Self.Width(), H: n.Self.Height()})
+		if n.IsLeaf() {
+			return nil
+		}
+		for _, e := range n.Entries {
+			if err := walk(e.Child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.Root()); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// ExpectedQueryAccesses is Theorem 1: the expected number of node pages
+// read by a window query of size qx × qy, summed over every node of
+// every level using Lemma 2.
+func ExpectedQueryAccesses(p *TreeProfile, qx, qy float64) float64 {
+	total := 0.0
+	for _, level := range p.Levels {
+		for _, n := range level {
+			total += ProbWindowsOverlap(n.W, n.H, qx, qy)
+		}
+	}
+	return total
+}
+
+// TopDownUpdateCost follows §4.1: a top-down update performs one
+// traversal to locate and delete the entry and a second to insert the
+// new one — 2 × the expected accesses of a point query — plus one I/O to
+// write the leaf page back.
+func TopDownUpdateCost(p *TreeProfile) float64 {
+	return 2*ExpectedQueryAccesses(p, 0, 0) + 1
+}
+
+// TopDownBestCase is the paper's best case for the top-down update: a
+// single root-to-leaf path for both traversals, 2h + 1.
+func TopDownBestCase(height int) float64 {
+	return float64(2*height + 1)
+}
+
+// BottomUpParams carries the knobs of the §4.2 bottom-up cost model.
+type BottomUpParams struct {
+	// LeafW, LeafH are the extents of the object's leaf MBR.
+	LeafW, LeafH float64
+	// Height is the number of tree levels.
+	Height int
+	// UseSummary selects the direct-access-table bound: the upward
+	// traversal costs a constant instead of climbing node by node.
+	UseSummary bool
+	// AscendLevels is the expected number of levels climbed when the
+	// update leaves the leaf (only used without the summary structure).
+	AscendLevels int
+}
+
+// BottomUpUpdateCost follows §4.2: with probability pIn (the chance that
+// a move of distance d stays inside the leaf MBR, worst-cased by placing
+// the object at the MBR corner) the update costs 3 I/Os; otherwise it
+// costs the extension path (4 I/Os) or the sibling path (6 I/Os one
+// level up, plus 2 per extra level climbed, or a constant 7 with the
+// summary structure).
+func BottomUpUpdateCost(d float64, prm BottomUpParams) float64 {
+	pIn := ProbStayInLeaf(d, prm.LeafW, prm.LeafH)
+	pOut := 1 - pIn
+
+	const (
+		costIn     = 3 // hash read + leaf read/write
+		costExtend = 4 // + parent read
+	)
+	var costSibling float64
+	if prm.UseSummary {
+		costSibling = 7 // hash + leaf R/W + sibling R/W + 2 parent reads
+	} else {
+		up := prm.AscendLevels
+		if up < 1 {
+			up = 1
+		}
+		costSibling = 5 + 2*float64(up) // 1+2+2 + 2 per level climbed
+	}
+	// The paper splits the out-of-leaf mass evenly between the extension
+	// and sibling cases in its worst-case analysis.
+	return pIn*costIn + pOut*0.5*costExtend + pOut*0.5*costSibling
+}
+
+// ProbStayInLeaf is the §4.2 worst-case probability that an object at
+// the corner of its leaf MBR remains inside after moving distance d:
+// (w-d)(h-d)/(w·h), floored at 0.
+func ProbStayInLeaf(d, w, h float64) float64 {
+	if w <= 0 || h <= 0 {
+		return 0
+	}
+	if d >= w || d >= h {
+		return 0
+	}
+	return clampProb((w - d) * (h - d) / (w * h))
+}
+
+// MaxMoveDistance is the diameter of the unit square.
+var MaxMoveDistance = math.Sqrt2
+
+// WorstCaseBound verifies the paper's headline inequality for a tree of
+// the given height: the bottom-up worst case (object moves the maximum
+// distance, summary in use) does not exceed the top-down best case
+// 2h + 1. It returns both sides.
+func WorstCaseBound(height int) (bottomUp, topDownBest float64) {
+	prm := BottomUpParams{LeafW: 0.01, LeafH: 0.01, Height: height, UseSummary: true}
+	return BottomUpUpdateCost(MaxMoveDistance, prm), TopDownBestCase(height)
+}
+
+// String renders the profile compactly.
+func (p *TreeProfile) String() string {
+	s := fmt.Sprintf("profile h=%d:", p.Height())
+	for l, nodes := range p.Levels {
+		s += fmt.Sprintf(" L%d=%d", l, len(nodes))
+	}
+	return s
+}

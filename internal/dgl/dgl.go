@@ -1,0 +1,325 @@
+// Package dgl implements a Dynamic-Granular-Locking style lock manager
+// (after Chakrabarti & Mehrotra, cited by the paper for concurrency
+// control in R-trees): multi-granularity locks with the standard
+// IS/IX/S/SIX/X mode lattice, per-granule FIFO wait queues, lock
+// upgrades, and timeouts for deadlock recovery.
+//
+// Granules are opaque 64-bit ids. The throughput experiment (paper §5.4)
+// locks a tree-level granule in intention mode plus fine leaf-region
+// granules, exactly the two-tier shape DGL prescribes (external granules
+// + leaf granules). Bottom-up updates acquire their granules directly at
+// the fine level, which is why they "fit naturally into DGL": top-down
+// operations meet their locks on the way down.
+package dgl
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Mode is a multi-granularity lock mode.
+type Mode int
+
+const (
+	// IS is intention-shared.
+	IS Mode = iota
+	// IX is intention-exclusive.
+	IX
+	// S is shared.
+	S
+	// SIX is shared + intention-exclusive.
+	SIX
+	// X is exclusive.
+	X
+)
+
+func (m Mode) String() string {
+	switch m {
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case S:
+		return "S"
+	case SIX:
+		return "SIX"
+	case X:
+		return "X"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// compat[a][b] reports whether a holder in mode a is compatible with a
+// requester in mode b.
+var compat = [5][5]bool{
+	IS:  {IS: true, IX: true, S: true, SIX: true, X: false},
+	IX:  {IS: true, IX: true, S: false, SIX: false, X: false},
+	S:   {IS: true, IX: false, S: true, SIX: false, X: false},
+	SIX: {IS: true, IX: false, S: false, SIX: false, X: false},
+	X:   {IS: false, IX: false, S: false, SIX: false, X: false},
+}
+
+// Compatible reports whether the two modes may be held simultaneously by
+// different transactions.
+func Compatible(a, b Mode) bool { return compat[a][b] }
+
+// sup[a][b] is the least mode covering both a and b (lock conversion).
+var sup = [5][5]Mode{
+	IS:  {IS: IS, IX: IX, S: S, SIX: SIX, X: X},
+	IX:  {IS: IX, IX: IX, S: SIX, SIX: SIX, X: X},
+	S:   {IS: S, IX: SIX, S: S, SIX: SIX, X: X},
+	SIX: {IS: SIX, IX: SIX, S: SIX, SIX: SIX, X: X},
+	X:   {IS: X, IX: X, S: X, SIX: X, X: X},
+}
+
+// Covers reports whether holding a implies the rights of b.
+func Covers(a, b Mode) bool { return sup[a][b] == a }
+
+// GranuleID identifies a lockable granule. The meaning of ids is up to
+// the caller (tree granule, grid cells, leaf pages, ...).
+type GranuleID uint64
+
+// ErrTimeout reports that a lock request waited past its deadline; the
+// caller should release everything and retry (deadlock recovery).
+var ErrTimeout = errors.New("dgl: lock wait timed out")
+
+// Txn is one lock owner.
+type Txn struct {
+	id   uint64
+	mu   sync.Mutex
+	held map[GranuleID]Mode
+}
+
+// Manager is the lock table.
+type Manager struct {
+	mu       sync.Mutex
+	granules map[GranuleID]*granule
+	nextTxn  uint64
+}
+
+type waiter struct {
+	txn     *Txn
+	mode    Mode
+	upgrade bool
+	ready   chan struct{}
+	granted bool
+}
+
+type granule struct {
+	holders map[*Txn]Mode
+	queue   []*waiter
+}
+
+// NewManager creates an empty lock table.
+func NewManager() *Manager {
+	return &Manager{granules: make(map[GranuleID]*granule)}
+}
+
+// Begin starts a new lock owner.
+func (m *Manager) Begin() *Txn {
+	m.mu.Lock()
+	m.nextTxn++
+	id := m.nextTxn
+	m.mu.Unlock()
+	return &Txn{id: id, held: make(map[GranuleID]Mode)}
+}
+
+// Held returns the mode txn holds on g (and whether it holds anything).
+func (t *Txn) Held(g GranuleID) (Mode, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m, ok := t.held[g]
+	return m, ok
+}
+
+// HeldCount returns the number of granules the transaction holds.
+func (t *Txn) HeldCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.held)
+}
+
+// Acquire obtains (or upgrades to) the given mode on granule g, waiting
+// up to timeout (0 means wait forever). On ErrTimeout the request is
+// withdrawn; locks already held are untouched.
+func (m *Manager) Acquire(txn *Txn, g GranuleID, mode Mode, timeout time.Duration) error {
+	txn.mu.Lock()
+	cur, holds := txn.held[g]
+	txn.mu.Unlock()
+	target := mode
+	upgrade := false
+	if holds {
+		if Covers(cur, mode) {
+			return nil // already strong enough
+		}
+		target = sup[cur][mode]
+		upgrade = true
+	}
+
+	m.mu.Lock()
+	gr := m.granules[g]
+	if gr == nil {
+		gr = &granule{holders: make(map[*Txn]Mode)}
+		m.granules[g] = gr
+	}
+	if m.grantableLocked(gr, txn, target, upgrade) {
+		gr.holders[txn] = target
+		m.mu.Unlock()
+		txn.mu.Lock()
+		txn.held[g] = target
+		txn.mu.Unlock()
+		return nil
+	}
+	w := &waiter{txn: txn, mode: target, upgrade: upgrade, ready: make(chan struct{})}
+	if upgrade {
+		// Conversions queue ahead of fresh requests to bound starvation.
+		gr.queue = append([]*waiter{w}, gr.queue...)
+	} else {
+		gr.queue = append(gr.queue, w)
+	}
+	m.mu.Unlock()
+
+	var timer *time.Timer
+	var timeoutC <-chan time.Time
+	if timeout > 0 {
+		timer = time.NewTimer(timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	select {
+	case <-w.ready:
+		txn.mu.Lock()
+		txn.held[g] = target
+		txn.mu.Unlock()
+		return nil
+	case <-timeoutC:
+		m.mu.Lock()
+		if w.granted {
+			// Lost the race: the grant landed before the withdrawal.
+			m.mu.Unlock()
+			<-w.ready
+			txn.mu.Lock()
+			txn.held[g] = target
+			txn.mu.Unlock()
+			return nil
+		}
+		for i, q := range gr.queue {
+			if q == w {
+				gr.queue = append(gr.queue[:i], gr.queue[i+1:]...)
+				break
+			}
+		}
+		m.mu.Unlock()
+		return fmt.Errorf("%w: granule %d mode %v", ErrTimeout, g, target)
+	}
+}
+
+// grantableLocked reports whether txn may take mode on gr right now.
+// Fresh requests respect FIFO: they are granted only when no other
+// request is queued. Upgrades only check the other current holders.
+func (m *Manager) grantableLocked(gr *granule, txn *Txn, mode Mode, upgrade bool) bool {
+	if !upgrade && len(gr.queue) > 0 {
+		return false
+	}
+	for holder, hm := range gr.holders {
+		if holder == txn {
+			continue
+		}
+		if !Compatible(hm, mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// Release drops txn's lock on g and wakes compatible waiters.
+func (m *Manager) Release(txn *Txn, g GranuleID) {
+	txn.mu.Lock()
+	_, ok := txn.held[g]
+	if ok {
+		delete(txn.held, g)
+	}
+	txn.mu.Unlock()
+	if !ok {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	gr := m.granules[g]
+	if gr == nil {
+		return
+	}
+	delete(gr.holders, txn)
+	m.wakeLocked(g, gr)
+}
+
+// ReleaseAll drops every lock txn holds.
+func (m *Manager) ReleaseAll(txn *Txn) {
+	txn.mu.Lock()
+	ids := make([]GranuleID, 0, len(txn.held))
+	for g := range txn.held {
+		ids = append(ids, g)
+	}
+	txn.held = make(map[GranuleID]Mode)
+	txn.mu.Unlock()
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, g := range ids {
+		gr := m.granules[g]
+		if gr == nil {
+			continue
+		}
+		delete(gr.holders, txn)
+		m.wakeLocked(g, gr)
+	}
+}
+
+// wakeLocked grants the longest compatible prefix of the wait queue.
+func (m *Manager) wakeLocked(g GranuleID, gr *granule) {
+	for len(gr.queue) > 0 {
+		w := gr.queue[0]
+		if !m.grantableNowLocked(gr, w) {
+			break
+		}
+		gr.queue = gr.queue[1:]
+		gr.holders[w.txn] = w.mode
+		w.granted = true
+		close(w.ready)
+	}
+	if len(gr.holders) == 0 && len(gr.queue) == 0 {
+		delete(m.granules, g)
+	}
+}
+
+func (m *Manager) grantableNowLocked(gr *granule, w *waiter) bool {
+	for holder, hm := range gr.holders {
+		if holder == w.txn {
+			continue
+		}
+		if !Compatible(hm, w.mode) {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats reports the current lock table occupancy.
+type Stats struct {
+	Granules int
+	Waiters  int
+}
+
+// Stats returns a snapshot of table occupancy.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := Stats{Granules: len(m.granules)}
+	for _, gr := range m.granules {
+		s.Waiters += len(gr.queue)
+	}
+	return s
+}

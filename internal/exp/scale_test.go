@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"math"
+	"testing"
+
+	"burtree/internal/core"
+)
+
+func TestLengthScaleDefaults(t *testing.T) {
+	c := Config{}.WithDefaults()
+	if c.LengthScale != 1 {
+		t.Fatalf("default LengthScale = %v", c.LengthScale)
+	}
+	md, eps, dt := c.scaledLengths()
+	if md != c.MaxDistance || eps != c.Epsilon || dt != c.DistanceThreshold {
+		t.Fatalf("identity scaling changed values: %v %v %v", md, eps, dt)
+	}
+}
+
+func TestLengthScaleApplies(t *testing.T) {
+	c := Config{LengthScale: 0.5, MaxDistance: 0.03, Epsilon: 0.004, DistanceThreshold: 0.02}.WithDefaults()
+	md, eps, dt := c.scaledLengths()
+	if md != 0.015 || eps != 0.002 || dt != 0.01 {
+		t.Fatalf("scaled = %v %v %v", md, eps, dt)
+	}
+	// Negative sentinels (literal zero) are untouched.
+	c2 := Config{LengthScale: 0.5, Epsilon: core.ZeroValue, DistanceThreshold: core.ZeroValue}.WithDefaults()
+	_, eps2, dt2 := c2.scaledLengths()
+	if eps2 != core.ZeroValue || dt2 != core.ZeroValue {
+		t.Fatalf("sentinels scaled: %v %v", eps2, dt2)
+	}
+}
+
+func TestLengthScaleFromScale(t *testing.T) {
+	if got := lengthScale(PaperScale()); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("paper scale factor = %v, want 1", got)
+	}
+	got := lengthScale(Scale{Objects: 10_000})
+	want := math.Sqrt(10_000.0 / 1e6)
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("factor = %v, want %v", got, want)
+	}
+}
+
+func TestLengthScaleImprovesLocality(t *testing.T) {
+	// With the regime rescaling, the default workload at reduced scale
+	// must resolve the majority of GBU updates locally, as the paper's
+	// default does.
+	cfg := Config{
+		Strategy:    core.GBU,
+		NumObjects:  4000,
+		NumUpdates:  4000,
+		NumQueries:  50,
+		LengthScale: lengthScale(Scale{Objects: 4000}),
+		Seed:        5,
+		Validate:    true,
+	}
+	m, err := RunOnce(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local := m.Outcomes.InLeaf + m.Outcomes.Extended + m.Outcomes.Shifted
+	if frac := float64(local) / float64(m.Outcomes.Total()); frac < 0.6 {
+		t.Fatalf("local share = %.2f with regime scaling; want >= 0.6 (%+v)", frac, m.Outcomes)
+	}
+}
+
+func TestEstimateDBPagesReasonable(t *testing.T) {
+	cfg := Config{Strategy: core.GBU, NumObjects: 20_000, PageSize: 1024}.WithDefaults()
+	est := estimateDBPages(cfg)
+	m, err := RunOnce(Config{Strategy: core.GBU, NumObjects: 20_000, NumUpdates: 1, NumQueries: 1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	actual := m.TreePages
+	ratio := float64(est) / float64(actual)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("estimate %d vs actual %d pages (ratio %.2f)", est, actual, ratio)
+	}
+	// TD (no hash index) estimates fewer pages than GBU.
+	tdEst := estimateDBPages(Config{Strategy: core.TD, NumObjects: 20_000, PageSize: 1024}.WithDefaults())
+	if tdEst >= est {
+		t.Fatalf("TD estimate %d >= GBU estimate %d", tdEst, est)
+	}
+}

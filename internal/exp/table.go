@@ -1,0 +1,114 @@
+package exp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is the rendered result of one experiment: one row per series
+// (usually per strategy), one column per swept parameter value.
+type Table struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+
+	Columns []string
+	Rows    []Row
+}
+
+// Row is one series.
+type Row struct {
+	Label  string
+	Values []float64
+}
+
+// AddRow appends a series, enforcing column arity.
+func (t *Table) AddRow(label string, values []float64) {
+	if len(values) != len(t.Columns) {
+		panic(fmt.Sprintf("exp: row %q has %d values for %d columns", label, len(values), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, Row{Label: label, Values: values})
+}
+
+// Render formats the table as aligned text.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	fmt.Fprintf(&b, "x = %s, y = %s\n", t.XLabel, t.YLabel)
+
+	width := 10
+	for _, c := range t.Columns {
+		if len(c)+2 > width {
+			width = len(c) + 2
+		}
+	}
+	labelWidth := 8
+	for _, r := range t.Rows {
+		if len(r.Label)+2 > labelWidth {
+			labelWidth = len(r.Label) + 2
+		}
+	}
+
+	fmt.Fprintf(&b, "%-*s", labelWidth, "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%*s", width, c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-*s", labelWidth, r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, "%*s", width, formatValue(v))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func formatValue(v float64) string {
+	av := v
+	if av < 0 {
+		av = -av
+	}
+	switch {
+	case v == float64(int64(v)) && av < 1e7:
+		return fmt.Sprintf("%d", int64(v))
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case av >= 0.01:
+		return fmt.Sprintf("%.3f", v)
+	default:
+		return fmt.Sprintf("%.2g", v)
+	}
+}
+
+// CSV renders the table as comma-separated values with a header row.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString("series")
+	for _, c := range t.Columns {
+		b.WriteByte(',')
+		b.WriteString(c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		b.WriteString(r.Label)
+		for _, v := range r.Values {
+			fmt.Fprintf(&b, ",%g", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Row returns the values of the series with the given label.
+func (t *Table) Row(label string) ([]float64, bool) {
+	for _, r := range t.Rows {
+		if r.Label == label {
+			return r.Values, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,247 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"burtree/internal/buffer"
+	"burtree/internal/concurrent"
+	"burtree/internal/core"
+	"burtree/internal/geom"
+	"burtree/internal/pagestore"
+	"burtree/internal/rtree"
+	"burtree/internal/stats"
+	"burtree/internal/summary"
+	"burtree/internal/workload"
+)
+
+// ThroughputConfig drives one cell of the Fig 8 study: a worker pool
+// issuing a fixed mix of updates and window queries against one strategy
+// under DGL locking and a simulated per-page latency.
+type ThroughputConfig struct {
+	Strategy   core.Kind
+	NumObjects int
+	Threads    int
+	Ops        int     // total operations across all threads
+	UpdateFrac float64 // share of operations that are updates
+	IOLatency  time.Duration
+	PageSize   int
+	BufferFrac float64
+	MaxDist    float64
+	QuerySize  float64 // fixed upper bound for window side (paper: [0, 0.01] for throughput)
+	Seed       int64
+}
+
+func (c ThroughputConfig) withDefaults() ThroughputConfig {
+	if c.NumObjects == 0 {
+		c.NumObjects = 20_000
+	}
+	if c.Threads == 0 {
+		c.Threads = 50
+	}
+	if c.Ops == 0 {
+		c.Ops = 6_000
+	}
+	if c.PageSize == 0 {
+		c.PageSize = pagestore.DefaultPageSize
+	}
+	if c.BufferFrac == 0 {
+		c.BufferFrac = 0.01
+	}
+	if c.MaxDist == 0 {
+		c.MaxDist = 0.03
+	}
+	if c.QuerySize == 0 {
+		c.QuerySize = 0.01 // the paper's throughput study uses [0, 0.01]
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// ThroughputResult is one cell's outcome.
+type ThroughputResult struct {
+	TPS     float64
+	Elapsed time.Duration
+	DB      concurrent.Stats
+}
+
+// RunThroughput builds the index, then replays a concurrent mixed
+// workload with the given thread count, returning operations/second.
+// The initial build is STR bulk-loaded (identically for every strategy)
+// and runs with the latency simulation off so only the measured phase
+// pays simulated I/O time.
+func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
+	cfg = cfg.withDefaults()
+	var res ThroughputResult
+
+	io := &stats.IO{}
+	store := pagestore.New(cfg.PageSize, io)
+	pool := buffer.New(store, int(cfg.BufferFrac*float64(estimateDBPages(Config{
+		Strategy: cfg.Strategy, NumObjects: cfg.NumObjects, PageSize: cfg.PageSize,
+	}))))
+	u, err := core.New(pool, core.Options{
+		Strategy:        cfg.Strategy,
+		ExpectedObjects: cfg.NumObjects,
+		Tree:            rtree.Config{ReinsertFraction: 0.3},
+	})
+	if err != nil {
+		return res, err
+	}
+	gen := workload.NewGenerator(workload.Spec{NumObjects: cfg.NumObjects, Seed: cfg.Seed})
+	if err := u.Tree().BulkLoad(gen.Items(), 0.66); err != nil {
+		return res, err
+	}
+
+	db := concurrent.New(u, 32)
+	positions := append([]geom.Point(nil), gen.Positions()...)
+	var stripes [512]sync.Mutex
+
+	store.SetLatency(cfg.IOLatency)
+	defer store.SetLatency(0)
+
+	opsPerWorker := cfg.Ops / cfg.Threads
+	if opsPerWorker < 1 {
+		opsPerWorker = 1
+	}
+	errCh := make(chan error, cfg.Threads)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			for i := 0; i < opsPerWorker; i++ {
+				if rng.Float64() < cfg.UpdateFrac {
+					oid := rng.Intn(cfg.NumObjects)
+					st := &stripes[oid%len(stripes)]
+					st.Lock()
+					old := positions[oid]
+					d := rng.Float64() * cfg.MaxDist
+					ang := rng.Float64() * 2 * math.Pi
+					np := geom.Point{X: old.X + d*math.Cos(ang), Y: old.Y + d*math.Sin(ang)}
+					if err := db.Update(rtree.OID(oid), old, np); err != nil {
+						st.Unlock()
+						errCh <- err
+						return
+					}
+					positions[oid] = np
+					st.Unlock()
+				} else {
+					side := rng.Float64() * cfg.QuerySize
+					x, y := rng.Float64(), rng.Float64()
+					if _, err := db.Query(geom.Rect{MinX: x, MinY: y, MaxX: x + side, MaxY: y + side}); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	select {
+	case err := <-errCh:
+		return res, err
+	default:
+	}
+	store.SetLatency(0)
+	if err := u.Err(); err != nil {
+		return res, fmt.Errorf("exp: throughput sticky error: %w", err)
+	}
+	if err := u.Tree().CheckInvariants(); err != nil {
+		return res, fmt.Errorf("exp: throughput invariants: %w", err)
+	}
+	total := opsPerWorker * cfg.Threads
+	res.TPS = float64(total) / res.Elapsed.Seconds()
+	res.DB = db.Stats()
+	return res, nil
+}
+
+// bundleThroughput reproduces Figure 8: throughput for update shares
+// {0, 25, 50, 75, 100}% with 50 threads under DGL.
+func bundleThroughput(s Scale, seed int64) (map[string]*Table, error) {
+	fracs := []float64{0, 0.25, 0.5, 0.75, 1}
+	cols := []string{"0%", "25%", "50%", "75%", "100%"}
+	t := &Table{ID: "fig8", Title: "Throughput for Varying Mix of Updates and Window Queries",
+		XLabel: "% updates", YLabel: "throughput (ops/s)", Columns: cols}
+	for _, kind := range defaultKinds {
+		var row []float64
+		for _, f := range fracs {
+			// Movement distances shrink with the length scale; the query
+			// window grows by the inverse so the number of leaves touched
+			// per query — and hence the query/update service-time ratio
+			// that shapes the figure — matches the paper's regime.
+			qs := 0.01 / lengthScale(s)
+			if qs > 0.5 {
+				qs = 0.5
+			}
+			r, err := RunThroughput(ThroughputConfig{
+				Strategy:   kind,
+				NumObjects: s.Objects,
+				Threads:    s.Threads,
+				Ops:        s.Ops,
+				UpdateFrac: f,
+				IOLatency:  time.Duration(s.IOLatencyU) * time.Microsecond,
+				MaxDist:    0.03 * lengthScale(s),
+				QuerySize:  qs,
+				Seed:       seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%v frac=%g: %w", kind, f, err)
+			}
+			row = append(row, r.TPS)
+		}
+		t.AddRow(kind.String(), row)
+	}
+	return map[string]*Table{"fig8": t}, nil
+}
+
+// measureSummaryRatios builds a GBU index and reports:
+//   - the mean direct-access-table entry size over the node page size,
+//   - the whole summary size over the tree size,
+//   - the share of internal nodes among all nodes.
+func measureSummaryRatios(cfg Config) ([3]float64, error) {
+	cfg = cfg.WithDefaults()
+	var out [3]float64
+	io := &stats.IO{}
+	store := pagestore.New(cfg.PageSize, io)
+	pool := buffer.New(store, 0)
+	u, err := core.New(pool, core.Options{Strategy: core.GBU, ExpectedObjects: cfg.NumObjects,
+		Tree: rtree.Config{ReinsertFraction: cfg.ReinsertFraction}})
+	if err != nil {
+		return out, err
+	}
+	gen := workload.NewGenerator(workload.Spec{
+		NumObjects: cfg.NumObjects, Distribution: cfg.Distribution, Seed: cfg.Seed,
+	})
+	for i, p := range gen.Positions() {
+		if err := u.Insert(rtree.OID(i), p); err != nil {
+			return out, err
+		}
+	}
+	type summarized interface{ Summary() *summary.Structure }
+	g, ok := u.(summarized)
+	if !ok {
+		return out, fmt.Errorf("exp: GBU strategy does not expose its summary")
+	}
+	sum := g.Summary()
+	internal, leaves := sum.Counts()
+	if internal == 0 {
+		return out, fmt.Errorf("exp: no internal nodes at this scale")
+	}
+	ts, err := u.Tree().ComputeStats()
+	if err != nil {
+		return out, err
+	}
+	treeBytes := ts.Nodes * cfg.PageSize
+	out[0] = float64(sum.SizeBytes()) / float64(internal) / float64(cfg.PageSize)
+	out[1] = float64(sum.SizeBytes()) / float64(treeBytes)
+	out[2] = float64(internal) / float64(internal+leaves)
+	return out, nil
+}

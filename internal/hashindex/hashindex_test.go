@@ -1,0 +1,245 @@
+package hashindex
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"burtree/internal/buffer"
+	"burtree/internal/pagestore"
+	"burtree/internal/stats"
+)
+
+func newIndex(t testing.TB, pageSize, bufferPages, expected int) (*Index, *stats.IO) {
+	t.Helper()
+	io := &stats.IO{}
+	store := pagestore.New(pageSize, io)
+	pool := buffer.New(store, bufferPages)
+	return New(pool, expected), io
+}
+
+func TestSetLookupDelete(t *testing.T) {
+	x, _ := newIndex(t, 256, 0, 100)
+	if err := x.Set(1, 10); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Set(2, 20); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := x.Lookup(1); err != nil || got != 10 {
+		t.Fatalf("Lookup(1) = %d, %v", got, err)
+	}
+	if got, err := x.Lookup(2); err != nil || got != 20 {
+		t.Fatalf("Lookup(2) = %d, %v", got, err)
+	}
+	if _, err := x.Lookup(3); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Lookup(3) err = %v", err)
+	}
+	if x.Size() != 2 {
+		t.Fatalf("size = %d", x.Size())
+	}
+	if err := x.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Lookup(1); !errors.Is(err, ErrNotFound) {
+		t.Fatal("deleted oid still mapped")
+	}
+	if err := x.Delete(1); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete err = %v", err)
+	}
+	if x.Size() != 1 {
+		t.Fatalf("size after delete = %d", x.Size())
+	}
+}
+
+func TestUpdateInPlace(t *testing.T) {
+	x, io := newIndex(t, 256, 0, 10)
+	if err := x.Set(5, 50); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Set(5, 51); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := x.Lookup(5); got != 51 {
+		t.Fatalf("updated mapping = %d", got)
+	}
+	if x.Size() != 1 {
+		t.Fatalf("size = %d, update must not grow", x.Size())
+	}
+	// No-op update performs no write.
+	base := io.Snapshot()
+	if err := x.Set(5, 51); err != nil {
+		t.Fatal(err)
+	}
+	if d := io.Snapshot().Sub(base); d.Writes != 0 {
+		t.Fatalf("no-op set wrote pages: %v", d)
+	}
+}
+
+func TestSetInvalidLeafRejected(t *testing.T) {
+	x, _ := newIndex(t, 256, 0, 10)
+	if err := x.Set(1, pagestore.InvalidPage); err == nil {
+		t.Fatal("invalid leaf accepted")
+	}
+}
+
+func TestOverflowChains(t *testing.T) {
+	// Single bucket forces long chains: 256B pages hold 15 slots.
+	x, _ := newIndex(t, 256, 0, 1)
+	if x.Buckets() != 1 {
+		t.Fatalf("buckets = %d, want 1", x.Buckets())
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := x.Set(uint64(i), pagestore.PageID(1000+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		got, err := x.Lookup(uint64(i))
+		if err != nil || got != pagestore.PageID(1000+i) {
+			t.Fatalf("Lookup(%d) = %d, %v", i, got, err)
+		}
+	}
+	s, err := x.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxChainPages < 2 {
+		t.Fatalf("expected overflow chains, stats = %+v", s)
+	}
+	// Deleting from the middle of a chain keeps the rest reachable.
+	for i := 0; i < n; i += 3 {
+		if err := x.Delete(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		_, err := x.Lookup(uint64(i))
+		if i%3 == 0 {
+			if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("Lookup(%d) after delete err = %v", i, err)
+			}
+		} else if err != nil {
+			t.Fatalf("Lookup(%d) = %v", i, err)
+		}
+	}
+}
+
+func TestLookupCostIsOnePageTypical(t *testing.T) {
+	// With a properly sized directory and no buffer, a lookup should cost
+	// ~1 physical read — the paper charges exactly 1 I/O for it.
+	const n = 5000
+	x, io := newIndex(t, 1024, 0, n)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n; i++ {
+		if err := x.Set(uint64(i), pagestore.PageID(1+rng.Intn(1<<20))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := io.Snapshot()
+	const probes = 2000
+	for i := 0; i < probes; i++ {
+		if _, err := x.Lookup(uint64(rng.Intn(n))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := io.Snapshot().Sub(base)
+	avg := float64(d.Reads) / probes
+	if avg > 1.2 {
+		t.Fatalf("avg lookup reads = %.3f, want ~1", avg)
+	}
+}
+
+func TestManyEntriesRandomized(t *testing.T) {
+	x, _ := newIndex(t, 512, 16, 2000)
+	rng := rand.New(rand.NewSource(2))
+	shadow := map[uint64]pagestore.PageID{}
+	for step := 0; step < 10000; step++ {
+		oid := uint64(rng.Intn(3000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			leaf := pagestore.PageID(1 + rng.Intn(1<<16))
+			if err := x.Set(oid, leaf); err != nil {
+				t.Fatal(err)
+			}
+			shadow[oid] = leaf
+		case 2:
+			err := x.Delete(oid)
+			if _, ok := shadow[oid]; ok {
+				if err != nil {
+					t.Fatalf("delete mapped oid %d: %v", oid, err)
+				}
+				delete(shadow, oid)
+			} else if !errors.Is(err, ErrNotFound) {
+				t.Fatalf("delete unmapped oid %d err = %v", oid, err)
+			}
+		}
+	}
+	if x.Size() != len(shadow) {
+		t.Fatalf("size = %d, shadow = %d", x.Size(), len(shadow))
+	}
+	for oid, want := range shadow {
+		got, err := x.Lookup(oid)
+		if err != nil || got != want {
+			t.Fatalf("Lookup(%d) = %d, %v; want %d", oid, got, err, want)
+		}
+	}
+}
+
+func TestQuickIndexMatchesMap(t *testing.T) {
+	type op struct {
+		OID  uint16
+		Leaf uint16
+		Del  bool
+	}
+	f := func(ops []op) bool {
+		x, _ := newIndex(t, 256, 4, 64)
+		shadow := map[uint64]pagestore.PageID{}
+		for _, o := range ops {
+			oid := uint64(o.OID % 64)
+			if o.Del {
+				err := x.Delete(oid)
+				if _, ok := shadow[oid]; ok {
+					if err != nil {
+						return false
+					}
+					delete(shadow, oid)
+				} else if !errors.Is(err, ErrNotFound) {
+					return false
+				}
+				continue
+			}
+			leaf := pagestore.PageID(uint64(o.Leaf) + 1)
+			if err := x.Set(oid, leaf); err != nil {
+				return false
+			}
+			shadow[oid] = leaf
+		}
+		if x.Size() != len(shadow) {
+			return false
+		}
+		for oid, want := range shadow {
+			got, err := x.Lookup(oid)
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	x, _ := newIndex(t, 256, 0, 100)
+	s, err := x.ComputeStats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Pages != 0 || s.Entries != 0 || s.MaxChainPages != 0 {
+		t.Fatalf("empty stats = %+v", s)
+	}
+}

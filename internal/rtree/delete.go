@@ -1,0 +1,181 @@
+package rtree
+
+import (
+	"fmt"
+
+	"burtree/internal/geom"
+	"burtree/internal/pagestore"
+)
+
+// Delete removes the data entry for oid whose rectangle is at. The
+// rectangle is the search hint (the paper's updates always know the old
+// location); deletion descends every path whose bounding rectangles
+// contain it, as in Guttman's FindLeaf. Underfull nodes are condensed and
+// their entries reinserted.
+func (t *Tree) Delete(oid OID, at geom.Rect) error {
+	if t.root == pagestore.InvalidPage {
+		return ErrNotFound
+	}
+	root, err := t.ReadNode(t.root)
+	if err != nil {
+		return err
+	}
+	path, found, err := t.findLeaf(root, oid, at, nil)
+	if err != nil {
+		return err
+	}
+	if !found {
+		return fmt.Errorf("%w: oid %d at %v", ErrNotFound, oid, at)
+	}
+	leaf := path[len(path)-1]
+	leaf.RemoveEntry(leaf.FindOID(oid))
+	t.notifyRemoved(oid)
+	if err := t.condense(path); err != nil {
+		return err
+	}
+	t.size--
+	return nil
+}
+
+// Update is the traditional top-down update (the paper's TD baseline):
+// one top-down traversal to locate and delete the old entry, then a
+// separate top-down insertion of the new one.
+func (t *Tree) Update(oid OID, old, new geom.Rect) error {
+	if err := t.Delete(oid, old); err != nil {
+		return err
+	}
+	return t.Insert(oid, new)
+}
+
+// findLeaf performs a depth-first containment search for the entry,
+// returning the full node path from n to the owning leaf.
+func (t *Tree) findLeaf(n *Node, oid OID, at geom.Rect, path []*Node) ([]*Node, bool, error) {
+	path = append(path, n)
+	if n.IsLeaf() {
+		for i := range n.Entries {
+			if n.Entries[i].OID == oid && n.Entries[i].Rect == at {
+				return path, true, nil
+			}
+		}
+		return path[:len(path)-1], false, nil
+	}
+	for i := range n.Entries {
+		if !n.Entries[i].Rect.ContainsRect(at) {
+			continue
+		}
+		child, err := t.ReadNode(n.Entries[i].Child)
+		if err != nil {
+			return nil, false, err
+		}
+		sub, found, err := t.findLeaf(child, oid, at, path)
+		if err != nil {
+			return nil, false, err
+		}
+		if found {
+			return sub, true, nil
+		}
+	}
+	return path[:len(path)-1], false, nil
+}
+
+// condense implements Guttman's CondenseTree: walking from the leaf back
+// to the root, underfull nodes are removed and their entries queued for
+// reinsertion at their original level; surviving nodes have their MBRs
+// tightened. Orphans are reinserted and finally the root is collapsed
+// while it is an internal node with a single child.
+func (t *Tree) condense(path []*Node) error {
+	var orphans []pendingReinsert
+	dirty := make([]bool, len(path))
+	dirty[len(path)-1] = true // the leaf lost an entry
+
+	for i := len(path) - 1; i >= 1; i-- {
+		n := path[i]
+		parent := path[i-1]
+		idx := parent.FindChild(n.Page)
+		if idx < 0 {
+			return fmt.Errorf("rtree: condense: node %d missing child %d", parent.Page, n.Page)
+		}
+		if len(n.Entries) < t.minEntries {
+			parent.RemoveEntry(idx)
+			dirty[i-1] = true
+			for _, e := range n.Entries {
+				orphans = append(orphans, pendingReinsert{e, n.Level})
+			}
+			if err := t.freeNode(n); err != nil {
+				return err
+			}
+			continue
+		}
+		if dirty[i] {
+			if len(n.Entries) > 0 {
+				if tight := n.EntriesMBR(); tight != n.Self {
+					n.Self = tight
+				}
+			}
+			if err := t.WriteNode(n); err != nil {
+				return err
+			}
+			if parent.Entries[idx].Rect != n.Self {
+				parent.Entries[idx].Rect = n.Self
+				dirty[i-1] = true
+			}
+		}
+	}
+
+	// Root: tighten and write if touched.
+	root := path[0]
+	if dirty[0] {
+		if len(root.Entries) > 0 {
+			root.Self = root.EntriesMBR()
+		}
+		if err := t.WriteNode(root); err != nil {
+			return err
+		}
+	}
+
+	// Reinsert orphans at their original levels.
+	if len(orphans) > 0 {
+		op := &insertOp{reinserted: make(map[int]bool), pending: orphans}
+		if err := t.drainReinserts(op); err != nil {
+			return err
+		}
+	}
+
+	return t.collapseRoot()
+}
+
+// collapseRoot shrinks the tree while the root is an internal node with a
+// single child, or empties it when the last entry is gone.
+func (t *Tree) collapseRoot() error {
+	for {
+		if t.root == pagestore.InvalidPage {
+			return nil
+		}
+		root, err := t.ReadNode(t.root)
+		if err != nil {
+			return err
+		}
+		if root.IsLeaf() {
+			if len(root.Entries) == 0 {
+				if err := t.freeNode(root); err != nil {
+					return err
+				}
+				t.setRoot(pagestore.InvalidPage, 0)
+			}
+			return nil
+		}
+		if len(root.Entries) > 1 {
+			return nil
+		}
+		child := root.Entries[0].Child
+		if err := t.freeNode(root); err != nil {
+			return err
+		}
+		t.setRoot(child, t.height-1)
+		if t.cfg.ParentPointers {
+			if err := t.setParent(child, pagestore.InvalidPage); err != nil {
+				return err
+			}
+		}
+	}
+}

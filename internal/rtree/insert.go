@@ -1,0 +1,322 @@
+package rtree
+
+import (
+	"fmt"
+	"sort"
+
+	"burtree/internal/geom"
+	"burtree/internal/pagestore"
+)
+
+// Insert adds a data object with the given bounding rectangle, descending
+// top-down from the root (Guttman's algorithm, with optional R*-style
+// forced reinsertion on the first overflow per level).
+//
+// Insert does not check for duplicate object ids; callers that need
+// uniqueness enforce it above this layer (the facade keeps an object
+// table).
+func (t *Tree) Insert(oid OID, rect geom.Rect) error {
+	if !rect.Valid() {
+		return fmt.Errorf("rtree: insert %d: invalid rect %v", oid, rect)
+	}
+	if t.root == pagestore.InvalidPage {
+		root := t.allocNode(0)
+		root.Entries = append(root.Entries, Entry{Rect: rect, OID: oid})
+		root.Self = rect
+		if err := t.WriteNode(root); err != nil {
+			return err
+		}
+		t.setRoot(root.Page, 1)
+		t.notifyPlaced(oid, root.Page)
+		t.size++
+		return nil
+	}
+	op := &insertOp{reinserted: make(map[int]bool)}
+	if err := t.insertEntry(nil, t.root, Entry{Rect: rect, OID: oid}, 0, op); err != nil {
+		return err
+	}
+	if err := t.drainReinserts(op); err != nil {
+		return err
+	}
+	t.size++
+	return nil
+}
+
+// InsertEntryAt performs a standard R-tree insertion of e at targetLevel,
+// descending from the node on page start instead of the root. abovePath
+// lists the ancestor chain from the root down to start's parent; it is
+// consulted (and those pages read) only when a split or MBR change must
+// propagate above start. The GBU strategy supplies this chain from its
+// main-memory summary structure, which is what makes ascending cheaper
+// than a full top-down insert.
+//
+// The caller is responsible for accounting (size) when e is a data entry
+// that is logically new; for GBU updates the object count is unchanged.
+func (t *Tree) InsertEntryAt(abovePath []pagestore.PageID, start pagestore.PageID, e Entry, targetLevel int) error {
+	op := &insertOp{reinserted: make(map[int]bool)}
+	if err := t.insertEntry(abovePath, start, e, targetLevel, op); err != nil {
+		return err
+	}
+	return t.drainReinserts(op)
+}
+
+// insertOp carries per-operation state: the set of levels already treated
+// with forced reinsertion and the queue of entries awaiting reinsertion.
+type insertOp struct {
+	reinserted map[int]bool
+	pending    []pendingReinsert
+}
+
+type pendingReinsert struct {
+	e     Entry
+	level int
+}
+
+func (t *Tree) drainReinserts(op *insertOp) error {
+	for len(op.pending) > 0 {
+		p := op.pending[0]
+		op.pending = op.pending[1:]
+		if err := t.insertEntry(nil, t.root, p.e, p.level, op); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// insertEntry descends from start to targetLevel, adds e, and repairs the
+// tree on the way back up. abovePath (root first) is consulted only when
+// changes propagate above start.
+func (t *Tree) insertEntry(abovePath []pagestore.PageID, start pagestore.PageID, e Entry, targetLevel int, op *insertOp) error {
+	// Descend, choosing the subtree needing least enlargement.
+	var path []*Node
+	cur := start
+	for {
+		n, err := t.ReadNode(cur)
+		if err != nil {
+			return err
+		}
+		path = append(path, n)
+		if n.Level == targetLevel {
+			break
+		}
+		if n.Level < targetLevel || n.IsLeaf() {
+			return fmt.Errorf("rtree: insert at level %d: descent hit level %d", targetLevel, n.Level)
+		}
+		cur = n.Entries[chooseSubtree(n, e.Rect)].Child
+	}
+
+	target := path[len(path)-1]
+	target.Entries = append(target.Entries, e)
+	target.Self = target.Self.Union(e.Rect)
+	if target.IsLeaf() {
+		t.notifyPlaced(e.OID, target.Page)
+	} else if t.cfg.ParentPointers {
+		if err := t.setParent(e.Child, target.Page); err != nil {
+			return err
+		}
+	}
+	return t.adjustUp(path, abovePath, op)
+}
+
+// adjustUp writes the deepest node of path and propagates MBR changes and
+// splits toward the root, continuing into abovePath if necessary.
+func (t *Tree) adjustUp(path []*Node, abovePath []pagestore.PageID, op *insertOp) error {
+	child := path[len(path)-1]
+	isRoot := len(path) == 1 && len(abovePath) == 0 && child.Page == t.root
+
+	split, err := t.resolveOverflow(child, isRoot, op)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteNode(child); err != nil {
+		return err
+	}
+
+	// Walk up through the in-memory path, then lazily through abovePath.
+	above := len(abovePath)
+	for i := len(path) - 2; i >= -above; i-- {
+		var parent *Node
+		if i >= 0 {
+			parent = path[i]
+		} else {
+			parent, err = t.ReadNode(abovePath[above+i])
+			if err != nil {
+				return err
+			}
+		}
+		idx := parent.FindChild(child.Page)
+		if idx < 0 {
+			return fmt.Errorf("rtree: node %d missing child entry for %d", parent.Page, child.Page)
+		}
+		changed := false
+		if parent.Entries[idx].Rect != child.Self {
+			parent.Entries[idx].Rect = child.Self
+			changed = true
+		}
+		if split != nil {
+			parent.Entries = append(parent.Entries, Entry{Rect: split.Self, Child: split.Page})
+			if t.cfg.ParentPointers {
+				if err := t.setParent(split.Page, parent.Page); err != nil {
+					return err
+				}
+			}
+			changed = true
+		}
+		if !changed {
+			return nil // nothing to propagate further
+		}
+		parent.Self = parent.EntriesMBR()
+		parentIsRoot := (i == -above) && parent.Page == t.root
+		split, err = t.resolveOverflow(parent, parentIsRoot, op)
+		if err != nil {
+			return err
+		}
+		if err := t.WriteNode(parent); err != nil {
+			return err
+		}
+		child = parent
+	}
+
+	if split != nil {
+		// The split reached the top of the chain; child must be the root.
+		if child.Page != t.root {
+			return fmt.Errorf("rtree: split escaped the ancestor chain at node %d", child.Page)
+		}
+		return t.growRoot(child, split)
+	}
+	return nil
+}
+
+// resolveOverflow handles an over-full node: forced reinsertion on the
+// first overflow of a level per operation, a split otherwise. It returns
+// the new sibling node (already written) when a split occurred. The caller
+// writes n itself.
+func (t *Tree) resolveOverflow(n *Node, isRoot bool, op *insertOp) (*Node, error) {
+	if len(n.Entries) <= t.maxEntries {
+		return nil, nil
+	}
+	if t.cfg.ReinsertFraction > 0 && !isRoot && !op.reinserted[n.Level] {
+		op.reinserted[n.Level] = true
+		t.forceReinsert(n, op)
+		return nil, nil
+	}
+	return t.splitNode(n)
+}
+
+// forceReinsert removes the ReinsertFraction of entries whose centers lie
+// farthest from the node's center and queues them for reinsertion at the
+// same level (R*-tree overflow treatment).
+func (t *Tree) forceReinsert(n *Node, op *insertOp) {
+	k := int(t.cfg.ReinsertFraction * float64(len(n.Entries)))
+	if k < 1 {
+		k = 1
+	}
+	if max := len(n.Entries) - t.minEntries; k > max {
+		k = max
+	}
+	c := n.EntriesMBR().Center()
+	type distEntry struct {
+		d float64
+		e Entry
+	}
+	ds := make([]distEntry, len(n.Entries))
+	for i, e := range n.Entries {
+		ds[i] = distEntry{geom.DistSq(c, e.Rect.Center()), e}
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].d > ds[j].d })
+	n.Entries = n.Entries[:0]
+	for _, de := range ds[k:] {
+		n.Entries = append(n.Entries, de.e)
+	}
+	n.Self = n.EntriesMBR()
+	for _, de := range ds[:k] {
+		op.pending = append(op.pending, pendingReinsert{de.e, n.Level})
+	}
+	t.io.CountReinserts(k)
+}
+
+// splitNode divides n, writes the new sibling, and returns it. n keeps
+// the first group; the caller writes n.
+func (t *Tree) splitNode(n *Node) (*Node, error) {
+	g1, g2 := splitEntries(n.Entries, t.minEntries, t.cfg.Split)
+	nn := t.allocNode(n.Level)
+	nn.Parent = n.Parent
+	n.Entries = g1
+	n.Self = n.EntriesMBR()
+	nn.Entries = g2
+	nn.Self = nn.EntriesMBR()
+	t.io.CountSplit()
+
+	// Bookkeeping for the entries that moved to the new node: secondary
+	// index updates for data entries, parent-pointer rewrites for child
+	// nodes (the LBU maintenance cost the paper calls out).
+	if nn.IsLeaf() {
+		for _, e := range nn.Entries {
+			t.notifyPlaced(e.OID, nn.Page)
+		}
+	} else if t.cfg.ParentPointers {
+		for _, e := range nn.Entries {
+			if err := t.setParent(e.Child, nn.Page); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := t.WriteNode(nn); err != nil {
+		return nil, err
+	}
+	return nn, nil
+}
+
+// growRoot installs a new root above the two nodes of a root split.
+func (t *Tree) growRoot(oldRoot, sibling *Node) error {
+	root := t.allocNode(oldRoot.Level + 1)
+	root.Entries = []Entry{
+		{Rect: oldRoot.Self, Child: oldRoot.Page},
+		{Rect: sibling.Self, Child: sibling.Page},
+	}
+	root.Self = root.EntriesMBR()
+	if err := t.WriteNode(root); err != nil {
+		return err
+	}
+	if t.cfg.ParentPointers {
+		if err := t.setParent(oldRoot.Page, root.Page); err != nil {
+			return err
+		}
+		if err := t.setParent(sibling.Page, root.Page); err != nil {
+			return err
+		}
+	}
+	t.setRoot(root.Page, t.height+1)
+	return nil
+}
+
+// setParent rewrites the parent pointer of the node on page child. Each
+// call costs one read and one write, which is exactly the maintenance
+// overhead the paper attributes to parent-pointer schemes.
+func (t *Tree) setParent(child, parent pagestore.PageID) error {
+	n, err := t.ReadNode(child)
+	if err != nil {
+		return err
+	}
+	if n.Parent == parent {
+		return nil
+	}
+	n.Parent = parent
+	return t.WriteNode(n)
+}
+
+// chooseSubtree returns the index of the entry needing least area
+// enlargement to cover r, breaking ties by smaller area (Guttman).
+func chooseSubtree(n *Node, r geom.Rect) int {
+	best := 0
+	bestEnl := n.Entries[0].Rect.Enlargement(r)
+	bestArea := n.Entries[0].Rect.Area()
+	for i := 1; i < len(n.Entries); i++ {
+		enl := n.Entries[i].Rect.Enlargement(r)
+		area := n.Entries[i].Rect.Area()
+		if enl < bestEnl || (enl == bestEnl && area < bestArea) {
+			best, bestEnl, bestArea = i, enl, area
+		}
+	}
+	return best
+}

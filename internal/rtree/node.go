@@ -1,0 +1,240 @@
+// Package rtree implements a disk-resident R-tree over the simulated page
+// store: Guttman's dynamic index structure with quadratic/linear splits,
+// optional R*-style forced reinsertion, top-down insert/delete/update,
+// range search, and STR bulk loading.
+//
+// This package is the substrate for the paper's three update strategies:
+// the traditional top-down update (TD) lives here, while the bottom-up
+// strategies (LBU, GBU) in internal/core drive the tree through the
+// lower-level node operations it exposes.
+//
+// Layout: each node occupies exactly one page. The node header stores the
+// node's level, entry count and its official MBR (the paper's "leaf MBR",
+// which bottom-up updates may enlarge beyond the tight bound of the
+// entries). Trees configured with parent pointers (the LBU variant)
+// additionally store the parent page id in every node header, paying for
+// it with reduced fanout and extra maintenance writes — exactly the
+// overhead the paper attributes to Kwon-style localized updates.
+package rtree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"burtree/internal/geom"
+	"burtree/internal/pagestore"
+)
+
+// OID identifies a data object stored in the tree.
+type OID = uint64
+
+// PageID aliases pagestore.PageID so that dependents of this package can
+// speak about node pages without importing pagestore directly.
+type PageID = pagestore.PageID
+
+// Entry is one slot of a node: a bounding rectangle plus either a child
+// page reference (internal nodes) or an object id (leaves).
+type Entry struct {
+	Rect  geom.Rect
+	Child pagestore.PageID // meaningful in internal nodes
+	OID   OID              // meaningful in leaf nodes
+}
+
+// Node is the decoded in-memory form of one R-tree page.
+type Node struct {
+	Page    pagestore.PageID
+	Level   int // 0 = leaf
+	Self    geom.Rect
+	Parent  pagestore.PageID // maintained only in parent-pointer trees
+	Entries []Entry
+}
+
+// IsLeaf reports whether the node is at leaf level.
+func (n *Node) IsLeaf() bool { return n.Level == 0 }
+
+// EntriesMBR returns the tight bounding rectangle of the node's entries.
+// It panics on an empty node; empty nodes never persist.
+func (n *Node) EntriesMBR() geom.Rect {
+	if len(n.Entries) == 0 {
+		panic("rtree: EntriesMBR of empty node")
+	}
+	mbr := n.Entries[0].Rect
+	for _, e := range n.Entries[1:] {
+		mbr = mbr.Union(e.Rect)
+	}
+	return mbr
+}
+
+// FindOID returns the index of the entry with the given oid, or -1.
+func (n *Node) FindOID(oid OID) int {
+	for i := range n.Entries {
+		if n.Entries[i].OID == oid {
+			return i
+		}
+	}
+	return -1
+}
+
+// FindChild returns the index of the entry referencing child, or -1.
+func (n *Node) FindChild(child pagestore.PageID) int {
+	for i := range n.Entries {
+		if n.Entries[i].Child == child {
+			return i
+		}
+	}
+	return -1
+}
+
+// RemoveEntry deletes the entry at index i, preserving order of the rest.
+func (n *Node) RemoveEntry(i int) {
+	n.Entries = append(n.Entries[:i], n.Entries[i+1:]...)
+}
+
+// ChildPages returns the child page ids of an internal node.
+func (n *Node) ChildPages() []pagestore.PageID {
+	if n.IsLeaf() {
+		return nil
+	}
+	out := make([]pagestore.PageID, len(n.Entries))
+	for i := range n.Entries {
+		out[i] = n.Entries[i].Child
+	}
+	return out
+}
+
+// Node serialization. All integers are little-endian.
+const (
+	nodeMagic = 0xA7
+
+	flagLeaf   = 1 << 0
+	flagParent = 1 << 1 // header carries a parent pointer
+
+	baseHeaderSize   = 8 + 4*8 // magic,flags,level,count,pad + self MBR
+	parentFieldSize  = 8
+	entrySize        = 8 + 4*8 // child/oid + rect
+	minFanoutForPage = 4
+)
+
+// headerSize returns the encoded header length for the given tree mode.
+func headerSize(parentPointers bool) int {
+	if parentPointers {
+		return baseHeaderSize + parentFieldSize
+	}
+	return baseHeaderSize
+}
+
+// MaxEntriesFor returns the node fanout for a page size and tree mode.
+func MaxEntriesFor(pageSize int, parentPointers bool) int {
+	m := (pageSize - headerSize(parentPointers)) / entrySize
+	if m < minFanoutForPage {
+		panic(fmt.Sprintf("rtree: page size %d too small (fanout %d < %d)", pageSize, m, minFanoutForPage))
+	}
+	return m
+}
+
+func putRect(b []byte, r geom.Rect) {
+	binary.LittleEndian.PutUint64(b[0:], math.Float64bits(r.MinX))
+	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(r.MinY))
+	binary.LittleEndian.PutUint64(b[16:], math.Float64bits(r.MaxX))
+	binary.LittleEndian.PutUint64(b[24:], math.Float64bits(r.MaxY))
+}
+
+func getRect(b []byte) geom.Rect {
+	return geom.Rect{
+		MinX: math.Float64frombits(binary.LittleEndian.Uint64(b[0:])),
+		MinY: math.Float64frombits(binary.LittleEndian.Uint64(b[8:])),
+		MaxX: math.Float64frombits(binary.LittleEndian.Uint64(b[16:])),
+		MaxY: math.Float64frombits(binary.LittleEndian.Uint64(b[24:])),
+	}
+}
+
+// encodeNode serializes n into buf (one full page). parentPointers selects
+// the header layout; it must match the tree configuration.
+func encodeNode(n *Node, buf []byte, parentPointers bool) error {
+	need := headerSize(parentPointers) + len(n.Entries)*entrySize
+	if need > len(buf) {
+		return fmt.Errorf("rtree: node %d with %d entries exceeds page size %d", n.Page, len(n.Entries), len(buf))
+	}
+	if n.Level > math.MaxUint16 || len(n.Entries) > math.MaxUint16 {
+		return fmt.Errorf("rtree: node %d level/count out of range", n.Page)
+	}
+	var flags byte
+	if n.Level == 0 {
+		flags |= flagLeaf
+	}
+	if parentPointers {
+		flags |= flagParent
+	}
+	buf[0] = nodeMagic
+	buf[1] = flags
+	binary.LittleEndian.PutUint16(buf[2:], uint16(n.Level))
+	binary.LittleEndian.PutUint16(buf[4:], uint16(len(n.Entries)))
+	buf[6], buf[7] = 0, 0
+	putRect(buf[8:], n.Self)
+	off := baseHeaderSize
+	if parentPointers {
+		binary.LittleEndian.PutUint64(buf[off:], uint64(n.Parent))
+		off += parentFieldSize
+	}
+	for i := range n.Entries {
+		e := &n.Entries[i]
+		id := e.OID
+		if n.Level > 0 {
+			id = uint64(e.Child)
+		}
+		binary.LittleEndian.PutUint64(buf[off:], id)
+		putRect(buf[off+8:], e.Rect)
+		off += entrySize
+	}
+	// Zero the tail so page contents are deterministic.
+	for i := off; i < len(buf); i++ {
+		buf[i] = 0
+	}
+	return nil
+}
+
+// decodeNode parses one page into n. The node's Page field must be set by
+// the caller.
+func decodeNode(n *Node, buf []byte, parentPointers bool) error {
+	if buf[0] != nodeMagic {
+		return fmt.Errorf("rtree: page is not a node (magic %#x)", buf[0])
+	}
+	flags := buf[1]
+	if got := flags&flagParent != 0; got != parentPointers {
+		return fmt.Errorf("rtree: node parent-pointer layout mismatch (page has %v, tree wants %v)", got, parentPointers)
+	}
+	n.Level = int(binary.LittleEndian.Uint16(buf[2:]))
+	count := int(binary.LittleEndian.Uint16(buf[4:]))
+	if isLeaf := flags&flagLeaf != 0; isLeaf != (n.Level == 0) {
+		return fmt.Errorf("rtree: leaf flag inconsistent with level %d", n.Level)
+	}
+	n.Self = getRect(buf[8:])
+	off := baseHeaderSize
+	n.Parent = pagestore.InvalidPage
+	if parentPointers {
+		n.Parent = pagestore.PageID(binary.LittleEndian.Uint64(buf[off:]))
+		off += parentFieldSize
+	}
+	if off+count*entrySize > len(buf) {
+		return fmt.Errorf("rtree: node count %d exceeds page capacity", count)
+	}
+	if cap(n.Entries) < count {
+		n.Entries = make([]Entry, count)
+	} else {
+		n.Entries = n.Entries[:count]
+	}
+	for i := 0; i < count; i++ {
+		id := binary.LittleEndian.Uint64(buf[off:])
+		r := getRect(buf[off+8:])
+		e := Entry{Rect: r}
+		if n.Level > 0 {
+			e.Child = pagestore.PageID(id)
+		} else {
+			e.OID = id
+		}
+		n.Entries[i] = e
+		off += entrySize
+	}
+	return nil
+}

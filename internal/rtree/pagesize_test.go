@@ -1,0 +1,216 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"burtree/internal/geom"
+)
+
+// TestPageSizeSweep exercises the tree across page sizes (and hence
+// fanouts) with mixed operations and full validation: small pages force
+// deep trees and frequent splits, large pages force wide nodes.
+func TestPageSizeSweep(t *testing.T) {
+	for _, ps := range []int{256, 512, 1024, 4096} {
+		ps := ps
+		t.Run(pageSizeName(ps), func(t *testing.T) {
+			tr := newTestTree(t, ps, 4, Config{ReinsertFraction: 0.3})
+			rng := rand.New(rand.NewSource(int64(ps)))
+			o := oracle{}
+			n := 900
+			for i := 0; i < n; i++ {
+				r := geom.RectFromPoint(uniformPoint(rng))
+				if err := tr.Insert(OID(i), r); err != nil {
+					t.Fatal(err)
+				}
+				o[OID(i)] = r
+			}
+			for step := 0; step < 800; step++ {
+				oid := OID(rng.Intn(n))
+				old := o[oid]
+				c := old.Center()
+				nr := geom.RectFromPoint(geom.Point{X: c.X + (rng.Float64()-0.5)*0.2, Y: c.Y + (rng.Float64()-0.5)*0.2})
+				if err := tr.Update(oid, old, nr); err != nil {
+					t.Fatal(err)
+				}
+				o[oid] = nr
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			checkAgainstOracle(t, tr, o, 15, rng)
+			// Deep trees with small pages.
+			if ps == 256 && tr.Height() < 3 {
+				t.Fatalf("height %d with 256B pages; expected deep tree", tr.Height())
+			}
+		})
+	}
+}
+
+func pageSizeName(ps int) string {
+	switch ps {
+	case 256:
+		return "256B"
+	case 512:
+		return "512B"
+	case 1024:
+		return "1KB"
+	default:
+		return "4KB"
+	}
+}
+
+// TestDuplicatePointsStress inserts many objects at identical positions:
+// splits of indistinguishable entries must still produce valid trees.
+func TestDuplicatePointsStress(t *testing.T) {
+	tr := newTestTree(t, 512, 0, Config{})
+	p := geom.RectFromPoint(geom.Point{X: 0.5, Y: 0.5})
+	const n = 300
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(OID(i), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tr.SearchCollect(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != n {
+		t.Fatalf("found %d of %d co-located objects", len(got), n)
+	}
+	// Delete them all again.
+	for i := 0; i < n; i++ {
+		if err := tr.Delete(OID(i), p); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	if tr.Size() != 0 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+}
+
+// TestClusteredThenScattered migrates a clustered dataset to a scattered
+// one via updates, which exercises MBR growth, splits and condensation
+// in sequence.
+func TestClusteredThenScattered(t *testing.T) {
+	tr := newTestTree(t, 512, 8, Config{ReinsertFraction: 0.3})
+	rng := rand.New(rand.NewSource(99))
+	o := oracle{}
+	const n = 700
+	for i := 0; i < n; i++ {
+		r := geom.RectFromPoint(geom.Point{X: 0.5 + rng.NormFloat64()*0.01, Y: 0.5 + rng.NormFloat64()*0.01})
+		if err := tr.Insert(OID(i), r); err != nil {
+			t.Fatal(err)
+		}
+		o[OID(i)] = r
+	}
+	// Scatter.
+	for i := 0; i < n; i++ {
+		oid := OID(i)
+		nr := geom.RectFromPoint(uniformPoint(rng))
+		if err := tr.Update(oid, o[oid], nr); err != nil {
+			t.Fatal(err)
+		}
+		o[oid] = nr
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, tr, o, 20, rng)
+	// Re-cluster.
+	for i := 0; i < n; i++ {
+		oid := OID(i)
+		nr := geom.RectFromPoint(geom.Point{X: 0.2 + rng.NormFloat64()*0.01, Y: 0.8 + rng.NormFloat64()*0.01})
+		if err := tr.Update(oid, o[oid], nr); err != nil {
+			t.Fatal(err)
+		}
+		o[oid] = nr
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	checkAgainstOracle(t, tr, o, 20, rng)
+}
+
+// TestListenerEventsConsistency installs a recording listener and
+// verifies that replaying its DataPlaced/DataRemoved stream yields the
+// exact leaf assignment of the final tree.
+func TestListenerEventsConsistency(t *testing.T) {
+	rec := &recordingListener{placed: map[OID]PageID{}}
+	tr := newTestTree(t, 512, 0, Config{ReinsertFraction: 0.3})
+	tr.SetListener(rec)
+	rng := rand.New(rand.NewSource(123))
+	o := oracle{}
+	const n = 500
+	for i := 0; i < n; i++ {
+		r := geom.RectFromPoint(uniformPoint(rng))
+		if err := tr.Insert(OID(i), r); err != nil {
+			t.Fatal(err)
+		}
+		o[OID(i)] = r
+	}
+	for step := 0; step < 1500; step++ {
+		oid := OID(rng.Intn(n))
+		old := o[oid]
+		nr := geom.RectFromPoint(uniformPoint(rng))
+		if err := tr.Update(oid, old, nr); err != nil {
+			t.Fatal(err)
+		}
+		o[oid] = nr
+	}
+	// The recorded assignment must match a fresh walk.
+	actual := map[OID]PageID{}
+	var walk func(page PageID) error
+	walk = func(page PageID) error {
+		n, err := tr.ReadNode(page)
+		if err != nil {
+			return err
+		}
+		if n.IsLeaf() {
+			for _, e := range n.Entries {
+				actual[e.OID] = page
+			}
+			return nil
+		}
+		for _, e := range n.Entries {
+			if err := walk(e.Child); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(tr.Root()); err != nil {
+		t.Fatal(err)
+	}
+	if len(actual) != len(rec.placed) {
+		t.Fatalf("listener tracked %d objects, tree has %d", len(rec.placed), len(actual))
+	}
+	for oid, page := range actual {
+		if rec.placed[oid] != page {
+			t.Fatalf("listener maps %d to %d, tree stores it in %d", oid, rec.placed[oid], page)
+		}
+	}
+	if rec.rootChanges == 0 || rec.writes == 0 {
+		t.Fatalf("listener events missing: %+v", rec)
+	}
+}
+
+type recordingListener struct {
+	placed      map[OID]PageID
+	writes      int
+	frees       int
+	rootChanges int
+}
+
+func (r *recordingListener) NodeWritten(page PageID, level int, self geom.Rect, children []PageID, count int) {
+	r.writes++
+}
+func (r *recordingListener) NodeFreed(page PageID, level int) { r.frees++ }
+func (r *recordingListener) RootChanged(root PageID, height int) {
+	r.rootChanges++
+}
+func (r *recordingListener) DataPlaced(oid OID, leaf PageID) { r.placed[oid] = leaf }
+func (r *recordingListener) DataRemoved(oid OID)             { delete(r.placed, oid) }

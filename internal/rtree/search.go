@@ -1,0 +1,138 @@
+package rtree
+
+import (
+	"container/heap"
+
+	"burtree/internal/geom"
+	"burtree/internal/pagestore"
+)
+
+// Search visits every data entry whose rectangle intersects q. The visit
+// callback returns false to stop early. Traversal order is unspecified.
+func (t *Tree) Search(q geom.Rect, visit func(oid OID, r geom.Rect) bool) error {
+	if t.root == pagestore.InvalidPage {
+		return nil
+	}
+	stack := []pagestore.PageID{t.root}
+	n := &Node{}
+	for len(stack) > 0 {
+		page := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if err := t.readNodeInto(page, n); err != nil {
+			return err
+		}
+		if n.IsLeaf() {
+			for _, e := range n.Entries {
+				if q.Intersects(e.Rect) {
+					if !visit(e.OID, e.Rect) {
+						return nil
+					}
+				}
+			}
+			continue
+		}
+		for _, e := range n.Entries {
+			if q.Intersects(e.Rect) {
+				stack = append(stack, e.Child)
+			}
+		}
+	}
+	return nil
+}
+
+// SearchCollect returns the ids of all objects intersecting q.
+func (t *Tree) SearchCollect(q geom.Rect) ([]OID, error) {
+	var out []OID
+	err := t.Search(q, func(oid OID, _ geom.Rect) bool {
+		out = append(out, oid)
+		return true
+	})
+	return out, err
+}
+
+// SearchCount returns the number of objects intersecting q.
+func (t *Tree) SearchCount(q geom.Rect) (int, error) {
+	count := 0
+	err := t.Search(q, func(OID, geom.Rect) bool {
+		count++
+		return true
+	})
+	return count, err
+}
+
+// Contains reports whether an entry with the given oid exists at the
+// given rectangle.
+func (t *Tree) Contains(oid OID, at geom.Rect) (bool, error) {
+	if t.root == pagestore.InvalidPage {
+		return false, nil
+	}
+	root, err := t.ReadNode(t.root)
+	if err != nil {
+		return false, err
+	}
+	_, found, err := t.findLeaf(root, oid, at, nil)
+	return found, err
+}
+
+// Neighbor is one result of a nearest-neighbour query.
+type Neighbor struct {
+	OID  OID
+	Rect geom.Rect
+	Dist float64
+}
+
+// NearestK returns the k data entries nearest to p in increasing distance
+// order, using the standard best-first MinDist traversal. It is an
+// extension beyond the paper's evaluation, provided for library
+// completeness.
+func (t *Tree) NearestK(p geom.Point, k int) ([]Neighbor, error) {
+	if t.root == pagestore.InvalidPage || k <= 0 {
+		return nil, nil
+	}
+	pq := &nnHeap{}
+	heap.Init(pq)
+	heap.Push(pq, nnItem{dist: 0, page: t.root, isNode: true})
+	var out []Neighbor
+	n := &Node{}
+	for pq.Len() > 0 && len(out) < k {
+		it := heap.Pop(pq).(nnItem)
+		if !it.isNode {
+			out = append(out, Neighbor{OID: it.oid, Rect: it.rect, Dist: it.dist})
+			continue
+		}
+		if err := t.readNodeInto(it.page, n); err != nil {
+			return nil, err
+		}
+		for _, e := range n.Entries {
+			d := e.Rect.MinDistPoint(p)
+			if n.IsLeaf() {
+				heap.Push(pq, nnItem{dist: d, oid: e.OID, rect: e.Rect})
+			} else {
+				heap.Push(pq, nnItem{dist: d, page: e.Child, isNode: true})
+			}
+		}
+	}
+	return out, nil
+}
+
+type nnItem struct {
+	dist   float64
+	page   pagestore.PageID
+	oid    OID
+	rect   geom.Rect
+	isNode bool
+}
+
+type nnHeap []nnItem
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].dist < h[j].dist }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnItem)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,290 @@
+package rtree
+
+import (
+	"math"
+	"sort"
+
+	"burtree/internal/geom"
+)
+
+// splitEntries divides an overflowing entry set (M+1 entries) into two
+// groups, each with at least minFill entries, using the configured
+// algorithm. The input slice is consumed.
+func splitEntries(entries []Entry, minFill int, alg SplitAlgorithm) (g1, g2 []Entry) {
+	switch alg {
+	case SplitLinear:
+		return splitLinear(entries, minFill)
+	case SplitRStar:
+		return splitRStar(entries, minFill)
+	default:
+		return splitQuadratic(entries, minFill)
+	}
+}
+
+// splitQuadratic is Guttman's quadratic split: pick the pair of entries
+// that would waste the most area together as seeds, then assign the rest
+// by greatest affinity difference.
+func splitQuadratic(entries []Entry, minFill int) (g1, g2 []Entry) {
+	s1, s2 := pickSeedsQuadratic(entries)
+	g1 = append(g1, entries[s1])
+	g2 = append(g2, entries[s2])
+	mbr1, mbr2 := entries[s1].Rect, entries[s2].Rect
+
+	rest := make([]Entry, 0, len(entries)-2)
+	for i := range entries {
+		if i != s1 && i != s2 {
+			rest = append(rest, entries[i])
+		}
+	}
+
+	for len(rest) > 0 {
+		// If one group must take all remaining entries to reach minFill,
+		// assign them wholesale.
+		if len(g1)+len(rest) == minFill {
+			g1 = append(g1, rest...)
+			return g1, g2
+		}
+		if len(g2)+len(rest) == minFill {
+			g2 = append(g2, rest...)
+			return g1, g2
+		}
+		// PickNext: entry with maximum preference difference.
+		best, bestDiff := -1, -1.0
+		var bestD1, bestD2 float64
+		for i := range rest {
+			d1 := mbr1.Enlargement(rest[i].Rect)
+			d2 := mbr2.Enlargement(rest[i].Rect)
+			diff := math.Abs(d1 - d2)
+			if diff > bestDiff {
+				best, bestDiff, bestD1, bestD2 = i, diff, d1, d2
+			}
+		}
+		e := rest[best]
+		rest = append(rest[:best], rest[best+1:]...)
+		// Resolve ties by smaller area, then smaller count.
+		toFirst := bestD1 < bestD2
+		if bestD1 == bestD2 {
+			a1, a2 := mbr1.Area(), mbr2.Area()
+			if a1 != a2 {
+				toFirst = a1 < a2
+			} else {
+				toFirst = len(g1) <= len(g2)
+			}
+		}
+		if toFirst {
+			g1 = append(g1, e)
+			mbr1 = mbr1.Union(e.Rect)
+		} else {
+			g2 = append(g2, e)
+			mbr2 = mbr2.Union(e.Rect)
+		}
+	}
+	return g1, g2
+}
+
+func pickSeedsQuadratic(entries []Entry) (int, int) {
+	worst := -math.MaxFloat64
+	s1, s2 := 0, 1
+	for i := 0; i < len(entries); i++ {
+		for j := i + 1; j < len(entries); j++ {
+			u := entries[i].Rect.Union(entries[j].Rect)
+			waste := u.Area() - entries[i].Rect.Area() - entries[j].Rect.Area()
+			if waste > worst {
+				worst, s1, s2 = waste, i, j
+			}
+		}
+	}
+	return s1, s2
+}
+
+// splitLinear is Guttman's linear split: seeds are the pair with the
+// greatest normalized separation along any dimension; the rest are
+// assigned by least enlargement.
+func splitLinear(entries []Entry, minFill int) (g1, g2 []Entry) {
+	s1, s2 := pickSeedsLinear(entries)
+	g1 = append(g1, entries[s1])
+	g2 = append(g2, entries[s2])
+	mbr1, mbr2 := entries[s1].Rect, entries[s2].Rect
+	for i := range entries {
+		if i == s1 || i == s2 {
+			continue
+		}
+		e := entries[i]
+		remaining := len(entries) - i - 1 // not counting seeds precisely; conservative fill guard below
+		_ = remaining
+		switch {
+		case len(g1)+1 < minFill && len(g2) >= minFill:
+			g1 = append(g1, e)
+			mbr1 = mbr1.Union(e.Rect)
+			continue
+		case len(g2)+1 < minFill && len(g1) >= minFill:
+			g2 = append(g2, e)
+			mbr2 = mbr2.Union(e.Rect)
+			continue
+		}
+		d1 := mbr1.Enlargement(e.Rect)
+		d2 := mbr2.Enlargement(e.Rect)
+		if d1 < d2 || (d1 == d2 && len(g1) <= len(g2)) {
+			g1 = append(g1, e)
+			mbr1 = mbr1.Union(e.Rect)
+		} else {
+			g2 = append(g2, e)
+			mbr2 = mbr2.Union(e.Rect)
+		}
+	}
+	return rebalanceMin(g1, g2, minFill)
+}
+
+func pickSeedsLinear(entries []Entry) (int, int) {
+	// For each dimension find the entry with the highest low side and the
+	// one with the lowest high side; normalize separation by the width.
+	var (
+		bestSep  = -math.MaxFloat64
+		bs1, bs2 = 0, 1
+		loX, hiX = math.MaxFloat64, -math.MaxFloat64
+		loY, hiY = math.MaxFloat64, -math.MaxFloat64
+		maxLoX   = -math.MaxFloat64
+		minHiX   = math.MaxFloat64
+		maxLoY   = -math.MaxFloat64
+		minHiY   = math.MaxFloat64
+		iMaxLoX  int
+		iMinHiX  int
+		iMaxLoY  int
+		iMinHiY  int
+	)
+	for i, e := range entries {
+		r := e.Rect
+		loX = math.Min(loX, r.MinX)
+		hiX = math.Max(hiX, r.MaxX)
+		loY = math.Min(loY, r.MinY)
+		hiY = math.Max(hiY, r.MaxY)
+		if r.MinX > maxLoX {
+			maxLoX, iMaxLoX = r.MinX, i
+		}
+		if r.MaxX < minHiX {
+			minHiX, iMinHiX = r.MaxX, i
+		}
+		if r.MinY > maxLoY {
+			maxLoY, iMaxLoY = r.MinY, i
+		}
+		if r.MaxY < minHiY {
+			minHiY, iMinHiY = r.MaxY, i
+		}
+	}
+	if w := hiX - loX; w > 0 && iMaxLoX != iMinHiX {
+		if sep := (maxLoX - minHiX) / w; sep > bestSep {
+			bestSep, bs1, bs2 = sep, iMinHiX, iMaxLoX
+		}
+	}
+	if h := hiY - loY; h > 0 && iMaxLoY != iMinHiY {
+		if sep := (maxLoY - minHiY) / h; sep > bestSep {
+			bestSep, bs1, bs2 = sep, iMinHiY, iMaxLoY
+		}
+	}
+	if bs1 == bs2 {
+		bs2 = (bs1 + 1) % len(entries)
+	}
+	return bs1, bs2
+}
+
+// splitRStar implements the R*-tree split: choose the axis with the
+// minimum total margin over all valid distributions, then the
+// distribution with minimum overlap (ties by minimum area).
+func splitRStar(entries []Entry, minFill int) (g1, g2 []Entry) {
+	type axisSort struct {
+		byMin func(i, j int) bool
+		byMax func(i, j int) bool
+	}
+	es := entries
+	sortBy := func(less func(i, j int) bool) { sort.SliceStable(es, less) }
+
+	axes := []axisSort{
+		{ // x axis
+			byMin: func(i, j int) bool { return es[i].Rect.MinX < es[j].Rect.MinX },
+			byMax: func(i, j int) bool { return es[i].Rect.MaxX < es[j].Rect.MaxX },
+		},
+		{ // y axis
+			byMin: func(i, j int) bool { return es[i].Rect.MinY < es[j].Rect.MinY },
+			byMax: func(i, j int) bool { return es[i].Rect.MaxY < es[j].Rect.MaxY },
+		},
+	}
+
+	n := len(es)
+	marginOf := func() float64 {
+		total := 0.0
+		for k := minFill; k <= n-minFill; k++ {
+			l := geom.UnionAll(rectsOf(es[:k]))
+			r := geom.UnionAll(rectsOf(es[k:]))
+			total += l.Margin() + r.Margin()
+		}
+		return total
+	}
+
+	bestAxis, bestMargin := 0, math.MaxFloat64
+	bestUseMax := false
+	for a, ax := range axes {
+		sortBy(ax.byMin)
+		if m := marginOf(); m < bestMargin {
+			bestMargin, bestAxis, bestUseMax = m, a, false
+		}
+		sortBy(ax.byMax)
+		if m := marginOf(); m < bestMargin {
+			bestMargin, bestAxis, bestUseMax = m, a, true
+		}
+	}
+	if bestUseMax {
+		sortBy(axes[bestAxis].byMax)
+	} else {
+		sortBy(axes[bestAxis].byMin)
+	}
+
+	bestK, bestOverlap, bestArea := minFill, math.MaxFloat64, math.MaxFloat64
+	for k := minFill; k <= n-minFill; k++ {
+		l := geom.UnionAll(rectsOf(es[:k]))
+		r := geom.UnionAll(rectsOf(es[k:]))
+		ov := l.OverlapArea(r)
+		area := l.Area() + r.Area()
+		if ov < bestOverlap || (ov == bestOverlap && area < bestArea) {
+			bestK, bestOverlap, bestArea = k, ov, area
+		}
+	}
+	g1 = append(g1, es[:bestK]...)
+	g2 = append(g2, es[bestK:]...)
+	return g1, g2
+}
+
+func rectsOf(es []Entry) []geom.Rect {
+	out := make([]geom.Rect, len(es))
+	for i := range es {
+		out[i] = es[i].Rect
+	}
+	return out
+}
+
+// rebalanceMin moves entries from the larger group to the smaller until
+// both meet minFill. Movement picks the entry whose removal shrinks the
+// donor least (by enlargement of the recipient).
+func rebalanceMin(g1, g2 []Entry, minFill int) ([]Entry, []Entry) {
+	for len(g1) < minFill && len(g2) > minFill {
+		i := cheapestDonor(g2, g1)
+		g1 = append(g1, g2[i])
+		g2 = append(g2[:i], g2[i+1:]...)
+	}
+	for len(g2) < minFill && len(g1) > minFill {
+		i := cheapestDonor(g1, g2)
+		g2 = append(g2, g1[i])
+		g1 = append(g1[:i], g1[i+1:]...)
+	}
+	return g1, g2
+}
+
+func cheapestDonor(from, to []Entry) int {
+	mbr := geom.UnionAll(rectsOf(to))
+	best, bestCost := 0, math.MaxFloat64
+	for i := range from {
+		if c := mbr.Enlargement(from[i].Rect); c < bestCost {
+			best, bestCost = i, c
+		}
+	}
+	return best
+}

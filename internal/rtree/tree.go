@@ -1,0 +1,313 @@
+package rtree
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"burtree/internal/buffer"
+	"burtree/internal/geom"
+	"burtree/internal/pagestore"
+	"burtree/internal/stats"
+)
+
+// SplitAlgorithm selects how overflowing nodes are divided.
+type SplitAlgorithm int
+
+const (
+	// SplitQuadratic is Guttman's quadratic-cost split (the paper's
+	// baseline implementation).
+	SplitQuadratic SplitAlgorithm = iota
+	// SplitLinear is Guttman's linear-cost split.
+	SplitLinear
+	// SplitRStar is the R*-tree topological split (margin-driven axis
+	// choice, minimum-overlap distribution).
+	SplitRStar
+)
+
+func (s SplitAlgorithm) String() string {
+	switch s {
+	case SplitQuadratic:
+		return "quadratic"
+	case SplitLinear:
+		return "linear"
+	case SplitRStar:
+		return "rstar"
+	default:
+		return fmt.Sprintf("SplitAlgorithm(%d)", int(s))
+	}
+}
+
+// Config carries the structural parameters of a tree.
+type Config struct {
+	// MinFillRatio is the minimum node occupancy as a fraction of the
+	// fanout (Guttman's m/M). Zero means the default 0.4.
+	MinFillRatio float64
+	// Split selects the overflow split algorithm.
+	Split SplitAlgorithm
+	// ReinsertFraction is the share of entries force-reinserted on the
+	// first overflow of a level per operation (R*-style). Zero disables
+	// forced reinsertion; the paper's baseline R-tree uses reinsertion,
+	// so the harness default is 0.3.
+	ReinsertFraction float64
+	// ParentPointers stores a parent page id in every node. Required by
+	// the LBU strategy; costs header space and maintenance writes.
+	ParentPointers bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinFillRatio == 0 {
+		c.MinFillRatio = 0.4
+	}
+	if c.MinFillRatio < 0.05 || c.MinFillRatio > 0.5 {
+		panic(fmt.Sprintf("rtree: MinFillRatio %v outside (0.05, 0.5]", c.MinFillRatio))
+	}
+	if c.ReinsertFraction < 0 || c.ReinsertFraction > 0.5 {
+		panic(fmt.Sprintf("rtree: ReinsertFraction %v outside [0, 0.5]", c.ReinsertFraction))
+	}
+	return c
+}
+
+// Listener observes structural changes to the tree. The summary structure
+// and the secondary object-id index register through it; a nil listener
+// turns the tree into the plain top-down baseline with zero bookkeeping
+// overhead.
+type Listener interface {
+	// NodeWritten fires after a node page is (re)written. children is nil
+	// for leaves; for internal nodes it lists the child pages in entry
+	// order and must not be retained.
+	NodeWritten(page pagestore.PageID, level int, self geom.Rect, children []pagestore.PageID, count int)
+	// NodeFreed fires when a node page is released.
+	NodeFreed(page pagestore.PageID, level int)
+	// RootChanged fires when the root page or tree height changes.
+	RootChanged(root pagestore.PageID, height int)
+	// DataPlaced fires when a data entry is written into a leaf, both on
+	// first insertion and whenever it moves between leaves.
+	DataPlaced(oid OID, leaf pagestore.PageID)
+	// DataRemoved fires when a data entry permanently leaves the tree.
+	DataRemoved(oid OID)
+}
+
+// Common sentinel errors.
+var (
+	ErrNotFound  = errors.New("rtree: object not found")
+	ErrDuplicate = errors.New("rtree: object id already present")
+	ErrEmptyTree = errors.New("rtree: tree is empty")
+)
+
+// Tree is a disk-resident R-tree. It is not safe for concurrent use by
+// itself; the DGL lock manager in internal/dgl provides isolation for the
+// multi-threaded throughput experiment.
+type Tree struct {
+	pool       *buffer.Pool
+	io         *stats.IO
+	cfg        Config
+	maxEntries int
+	minEntries int
+	root       pagestore.PageID
+	height     int // number of levels; 0 = empty tree
+	size       int // number of data entries
+	listener   Listener
+
+	// bufPool recycles page-sized scratch buffers. Reads may run
+	// concurrently (under a shared latch above this package), so scratch
+	// space must not be shared between calls.
+	bufPool sync.Pool
+}
+
+// New creates an empty tree on the given pool.
+func New(pool *buffer.Pool, cfg Config) *Tree {
+	cfg = cfg.withDefaults()
+	ps := pool.Store().PageSize()
+	maxE := MaxEntriesFor(ps, cfg.ParentPointers)
+	minE := int(float64(maxE) * cfg.MinFillRatio)
+	if minE < 2 {
+		minE = 2
+	}
+	return &Tree{
+		pool:       pool,
+		io:         pool.Store().IO(),
+		cfg:        cfg,
+		maxEntries: maxE,
+		minEntries: minE,
+		root:       pagestore.InvalidPage,
+		bufPool:    sync.Pool{New: func() interface{} { return make([]byte, ps) }},
+	}
+}
+
+// SetListener installs l; pass nil to detach. Must be called before any
+// data is inserted so bookkeeping stays consistent.
+func (t *Tree) SetListener(l Listener) {
+	if t.size > 0 {
+		panic("rtree: SetListener on non-empty tree")
+	}
+	t.listener = l
+}
+
+// Config returns the tree's configuration (with defaults applied).
+func (t *Tree) Config() Config { return t.cfg }
+
+// MaxEntries returns the node fanout M.
+func (t *Tree) MaxEntries() int { return t.maxEntries }
+
+// MinEntries returns the minimum fill m.
+func (t *Tree) MinEntries() int { return t.minEntries }
+
+// Height returns the number of levels (0 for an empty tree; leaves are
+// level 0, the root of a tree with height h is at level h-1).
+func (t *Tree) Height() int { return t.height }
+
+// Size returns the number of data entries.
+func (t *Tree) Size() int { return t.size }
+
+// Root returns the root page id, or pagestore.InvalidPage when empty.
+func (t *Tree) Root() pagestore.PageID { return t.root }
+
+// Pool returns the buffer pool the tree performs I/O through.
+func (t *Tree) Pool() *buffer.Pool { return t.pool }
+
+// IO returns the counter set shared with the pool and store.
+func (t *Tree) IO() *stats.IO { return t.io }
+
+// RootMBR returns the MBR of the whole tree.
+func (t *Tree) RootMBR() (geom.Rect, error) {
+	if t.root == pagestore.InvalidPage {
+		return geom.Rect{}, ErrEmptyTree
+	}
+	n, err := t.ReadNode(t.root)
+	if err != nil {
+		return geom.Rect{}, err
+	}
+	return n.Self, nil
+}
+
+// ReadNode fetches and decodes the node stored on the given page. Each
+// call performs one logical page read (a disk read or a buffer hit).
+func (t *Tree) ReadNode(page pagestore.PageID) (*Node, error) {
+	n := &Node{Page: page}
+	if err := t.readNodeInto(page, n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func (t *Tree) readNodeInto(page pagestore.PageID, n *Node) error {
+	buf := t.bufPool.Get().([]byte)
+	defer t.bufPool.Put(buf)
+	if err := t.pool.ReadPage(page, buf); err != nil {
+		return fmt.Errorf("rtree: reading node %d: %w", page, err)
+	}
+	n.Page = page
+	if err := decodeNode(n, buf, t.cfg.ParentPointers); err != nil {
+		return fmt.Errorf("rtree: decoding node %d: %w", page, err)
+	}
+	return nil
+}
+
+// WriteNode encodes and writes the node back to its page, firing the
+// listener. Exposed for the bottom-up strategies in internal/core.
+func (t *Tree) WriteNode(n *Node) error {
+	buf := t.bufPool.Get().([]byte)
+	defer t.bufPool.Put(buf)
+	if err := encodeNode(n, buf, t.cfg.ParentPointers); err != nil {
+		return err
+	}
+	if err := t.pool.WritePage(n.Page, buf); err != nil {
+		return fmt.Errorf("rtree: writing node %d: %w", n.Page, err)
+	}
+	if t.listener != nil {
+		t.listener.NodeWritten(n.Page, n.Level, n.Self, n.ChildPages(), len(n.Entries))
+	}
+	return nil
+}
+
+// allocNode creates a new empty node at the given level.
+func (t *Tree) allocNode(level int) *Node {
+	return &Node{
+		Page:   t.pool.Store().Alloc(),
+		Level:  level,
+		Parent: pagestore.InvalidPage,
+	}
+}
+
+// freeNode releases the node's page.
+func (t *Tree) freeNode(n *Node) error {
+	t.pool.Discard(n.Page)
+	if err := t.pool.Store().Free(n.Page); err != nil {
+		return err
+	}
+	if t.listener != nil {
+		t.listener.NodeFreed(n.Page, n.Level)
+	}
+	return nil
+}
+
+func (t *Tree) setRoot(page pagestore.PageID, height int) {
+	t.root = page
+	t.height = height
+	if t.listener != nil {
+		t.listener.RootChanged(page, height)
+	}
+}
+
+func (t *Tree) notifyPlaced(oid OID, leaf pagestore.PageID) {
+	if t.listener != nil {
+		t.listener.DataPlaced(oid, leaf)
+	}
+}
+
+func (t *Tree) notifyRemoved(oid OID) {
+	if t.listener != nil {
+		t.listener.DataRemoved(oid)
+	}
+}
+
+// Flush writes all buffered dirty pages to the store.
+func (t *Tree) Flush() error { return t.pool.Flush() }
+
+// AdjustSize corrects the cached entry count when a caller adds or
+// removes data entries through the low-level node interface (ReadNode /
+// WriteNode / InsertEntryAt) instead of Insert/Delete. The bottom-up
+// strategies in internal/core use it.
+func (t *Tree) AdjustSize(delta int) { t.size += delta }
+
+// NotifyDataPlaced fires the DataPlaced listener hook on behalf of a
+// caller that moved a data entry through the low-level node interface.
+func (t *Tree) NotifyDataPlaced(oid OID, leaf pagestore.PageID) {
+	t.notifyPlaced(oid, leaf)
+}
+
+// NotifyDataRemoved fires the DataRemoved listener hook on behalf of a
+// caller that removed a data entry through the low-level node interface.
+func (t *Tree) NotifyDataRemoved(oid OID) {
+	t.notifyRemoved(oid)
+}
+
+// Restore attaches the tree to existing pages (e.g. after loading a
+// persisted store): the root page, the height and the entry count are
+// taken on trust and then spot-checked by reading the root node. The
+// listener RootChanged hook fires so rebuilt auxiliary structures see
+// the root. Full verification is available via CheckInvariants.
+func (t *Tree) Restore(root pagestore.PageID, height, size int) error {
+	if root == pagestore.InvalidPage {
+		if height != 0 || size != 0 {
+			return fmt.Errorf("rtree: restore of empty tree with height %d size %d", height, size)
+		}
+		t.setRoot(pagestore.InvalidPage, 0)
+		t.size = 0
+		return nil
+	}
+	n, err := t.ReadNode(root)
+	if err != nil {
+		return fmt.Errorf("rtree: restore: %w", err)
+	}
+	if n.Level != height-1 {
+		return fmt.Errorf("rtree: restore: root level %d does not match height %d", n.Level, height)
+	}
+	if size < 0 {
+		return fmt.Errorf("rtree: restore: negative size %d", size)
+	}
+	t.setRoot(root, height)
+	t.size = size
+	return nil
+}

@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"burtree/internal/geom"
+)
+
+// Trace is a materialized workload: the initial positions plus the exact
+// update and query streams. Traces let experiments be archived, diffed
+// and replayed against different strategies with guaranteed identity.
+type Trace struct {
+	Spec    Spec
+	Initial []geom.Point
+	Updates []Update
+	Queries []geom.Rect
+}
+
+// BuildTrace materializes a workload of the given size from a fresh
+// generator.
+func BuildTrace(spec Spec, updates, queries int) *Trace {
+	g := NewGenerator(spec)
+	tr := &Trace{
+		Spec:    g.Spec(),
+		Initial: append([]geom.Point(nil), g.Positions()...),
+		Updates: make([]Update, updates),
+		Queries: make([]geom.Rect, queries),
+	}
+	for i := range tr.Updates {
+		tr.Updates[i] = g.NextUpdate()
+	}
+	for i := range tr.Queries {
+		tr.Queries[i] = g.NextQuery()
+	}
+	return tr
+}
+
+// Write serializes the trace.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(t); err != nil {
+		return fmt.Errorf("workload: encoding trace: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadTrace deserializes a trace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&t); err != nil {
+		return nil, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	return &t, nil
+}
+
+// WriteFile saves the trace to a file.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadTraceFile loads a trace from a file.
+func ReadTraceFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}

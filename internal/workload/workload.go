@@ -1,0 +1,219 @@
+// Package workload generates the spatio-temporal workloads of the
+// paper's performance study (§5), modeled on the GSTD generator it
+// cites: an initial distribution of 2-D point objects in the unit square
+// (Uniform, Gaussian or Skewed), a movement process that displaces a
+// randomly chosen object by a bounded random distance per update, and
+// uniformly distributed window queries with side lengths in [0, 0.1].
+//
+// Every stream is driven by an explicit seed, so experiment runs are
+// reproducible bit for bit.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"burtree/internal/geom"
+	"burtree/internal/rtree"
+)
+
+// Distribution selects the initial placement of objects (§5.1.5).
+type Distribution int
+
+const (
+	// Uniform scatters objects uniformly over the unit square.
+	Uniform Distribution = iota
+	// Gaussian clusters objects around the center (0.5, 0.5) with
+	// σ = 0.1 per axis, clipped to the unit square.
+	Gaussian
+	// Skewed concentrates objects toward the origin corner (coordinates
+	// are cubes of uniform variates).
+	Skewed
+)
+
+func (d Distribution) String() string {
+	switch d {
+	case Uniform:
+		return "uniform"
+	case Gaussian:
+		return "gaussian"
+	case Skewed:
+		return "skewed"
+	default:
+		return fmt.Sprintf("Distribution(%d)", int(d))
+	}
+}
+
+// ParseDistribution converts a name to a Distribution.
+func ParseDistribution(s string) (Distribution, error) {
+	switch s {
+	case "uniform":
+		return Uniform, nil
+	case "gaussian":
+		return Gaussian, nil
+	case "skewed", "skew":
+		return Skewed, nil
+	default:
+		return 0, fmt.Errorf("workload: unknown distribution %q", s)
+	}
+}
+
+// Spec describes a workload (paper Table 1). Zero fields take the
+// paper's bold defaults via WithDefaults.
+type Spec struct {
+	NumObjects   int
+	Distribution Distribution
+	// MaxDistance is the maximum distance an object moves per update
+	// (default 0.03; the paper sweeps 0.003–0.15).
+	MaxDistance float64
+	// QueryMaxSize is the maximum query-window side (default 0.1).
+	QueryMaxSize float64
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// WithDefaults fills unset fields with the paper's defaults.
+func (s Spec) WithDefaults() Spec {
+	if s.NumObjects == 0 {
+		s.NumObjects = 100_000
+	}
+	if s.MaxDistance == 0 {
+		s.MaxDistance = 0.03
+	}
+	if s.QueryMaxSize == 0 {
+		s.QueryMaxSize = 0.1
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// Update is one movement event: object oid moves from Old to New.
+type Update struct {
+	OID rtree.OID
+	Old geom.Point
+	New geom.Point
+}
+
+// Generator produces a deterministic stream of initial positions,
+// updates and queries, tracking each object's current location.
+type Generator struct {
+	spec Spec
+	rng  *rand.Rand
+	pos  []geom.Point
+}
+
+// NewGenerator builds the generator and the initial object positions.
+func NewGenerator(spec Spec) *Generator {
+	spec = spec.WithDefaults()
+	g := &Generator{
+		spec: spec,
+		rng:  rand.New(rand.NewSource(spec.Seed)),
+		pos:  make([]geom.Point, spec.NumObjects),
+	}
+	for i := range g.pos {
+		g.pos[i] = g.initialPoint()
+	}
+	return g
+}
+
+// Spec returns the (defaulted) specification.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// Positions returns the current object positions; index = oid. The slice
+// is live — it reflects updates as they are generated.
+func (g *Generator) Positions() []geom.Point { return g.pos }
+
+// Position returns the current position of one object.
+func (g *Generator) Position(oid rtree.OID) geom.Point { return g.pos[oid] }
+
+func (g *Generator) initialPoint() geom.Point {
+	switch g.spec.Distribution {
+	case Gaussian:
+		return geom.Point{X: clamp01(0.5 + g.rng.NormFloat64()*0.1), Y: clamp01(0.5 + g.rng.NormFloat64()*0.1)}
+	case Skewed:
+		u, v := g.rng.Float64(), g.rng.Float64()
+		return geom.Point{X: u * u * u, Y: v * v * v}
+	default:
+		return geom.Point{X: g.rng.Float64(), Y: g.rng.Float64()}
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// NextUpdate moves a uniformly chosen object a random distance in
+// [0, MaxDistance] in a random direction and returns the event. Objects
+// may drift outside the unit square; the paper observes exactly this
+// ("objects beyond the root MBR"), so positions are not clamped.
+func (g *Generator) NextUpdate() Update {
+	oid := rtree.OID(g.rng.Intn(len(g.pos)))
+	old := g.pos[oid]
+	dist := g.rng.Float64() * g.spec.MaxDistance
+	angle := g.rng.Float64() * 2 * math.Pi
+	np := geom.Point{X: old.X + dist*math.Cos(angle), Y: old.Y + dist*math.Sin(angle)}
+	g.pos[oid] = np
+	return Update{OID: oid, Old: old, New: np}
+}
+
+// NextQuery returns a query window with uniformly distributed corner and
+// side lengths in [0, QueryMaxSize].
+func (g *Generator) NextQuery() geom.Rect {
+	w := g.rng.Float64() * g.spec.QueryMaxSize
+	h := g.rng.Float64() * g.spec.QueryMaxSize
+	x := g.rng.Float64()
+	y := g.rng.Float64()
+	return geom.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}
+}
+
+// OpKind tags entries of a mixed stream.
+type OpKind int
+
+const (
+	// OpUpdate is a movement event.
+	OpUpdate OpKind = iota
+	// OpQuery is a window query.
+	OpQuery
+)
+
+// Op is one entry of a mixed update/query stream (§5.4 throughput).
+type Op struct {
+	Kind   OpKind
+	Update Update    // valid when Kind == OpUpdate
+	Query  geom.Rect // valid when Kind == OpQuery
+}
+
+// MixedStream returns n operations with the given update fraction
+// (0 ≤ updateFrac ≤ 1), interleaved by coin flips from the generator's
+// seed. Updates mutate the tracked positions as they are generated, so
+// the stream is consistent for sequential replay; concurrent replay (as
+// in the throughput study) must treat Old as a hint.
+func (g *Generator) MixedStream(n int, updateFrac float64) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		if g.rng.Float64() < updateFrac {
+			ops[i] = Op{Kind: OpUpdate, Update: g.NextUpdate()}
+		} else {
+			ops[i] = Op{Kind: OpQuery, Query: g.NextQuery()}
+		}
+	}
+	return ops
+}
+
+// Items returns the current positions in bulk-load form.
+func (g *Generator) Items() []rtree.Item {
+	items := make([]rtree.Item, len(g.pos))
+	for i, p := range g.pos {
+		items[i] = rtree.Item{OID: rtree.OID(i), Rect: geom.RectFromPoint(p)}
+	}
+	return items
+}

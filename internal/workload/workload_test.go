@@ -1,0 +1,214 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"burtree/internal/geom"
+)
+
+func TestDefaults(t *testing.T) {
+	s := Spec{}.WithDefaults()
+	if s.NumObjects != 100_000 || s.MaxDistance != 0.03 || s.QueryMaxSize != 0.1 || s.Seed != 1 {
+		t.Fatalf("defaults = %+v", s)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	spec := Spec{NumObjects: 500, Seed: 42}
+	g1 := NewGenerator(spec)
+	g2 := NewGenerator(spec)
+	for i := range g1.Positions() {
+		if g1.Positions()[i] != g2.Positions()[i] {
+			t.Fatalf("initial positions differ at %d", i)
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		u1, u2 := g1.NextUpdate(), g2.NextUpdate()
+		if u1 != u2 {
+			t.Fatalf("update %d differs: %+v vs %+v", i, u1, u2)
+		}
+		q1, q2 := g1.NextQuery(), g2.NextQuery()
+		if q1 != q2 {
+			t.Fatalf("query %d differs", i)
+		}
+	}
+}
+
+func TestInitialDistributions(t *testing.T) {
+	const n = 20000
+	for _, d := range []Distribution{Uniform, Gaussian, Skewed} {
+		g := NewGenerator(Spec{NumObjects: n, Distribution: d, Seed: 7})
+		var sumX, sumY float64
+		inUnit := 0
+		for _, p := range g.Positions() {
+			sumX += p.X
+			sumY += p.Y
+			if p.X >= 0 && p.X <= 1 && p.Y >= 0 && p.Y <= 1 {
+				inUnit++
+			}
+		}
+		if inUnit != n {
+			t.Fatalf("%v: %d/%d points outside unit square", d, n-inUnit, n)
+		}
+		meanX, meanY := sumX/n, sumY/n
+		switch d {
+		case Uniform:
+			if math.Abs(meanX-0.5) > 0.02 || math.Abs(meanY-0.5) > 0.02 {
+				t.Fatalf("uniform mean = (%.3f, %.3f)", meanX, meanY)
+			}
+		case Gaussian:
+			if math.Abs(meanX-0.5) > 0.02 || math.Abs(meanY-0.5) > 0.02 {
+				t.Fatalf("gaussian mean = (%.3f, %.3f)", meanX, meanY)
+			}
+			// Gaussian is far more concentrated than uniform.
+			spread := 0.0
+			for _, p := range g.Positions() {
+				spread += (p.X - 0.5) * (p.X - 0.5)
+			}
+			if sd := math.Sqrt(spread / n); sd > 0.15 {
+				t.Fatalf("gaussian x std = %.3f, want ~0.1", sd)
+			}
+		case Skewed:
+			// Cubed uniforms have mean 0.25.
+			if meanX > 0.3 || meanY > 0.3 {
+				t.Fatalf("skewed mean = (%.3f, %.3f), want ~0.25", meanX, meanY)
+			}
+		}
+	}
+}
+
+func TestUpdatesBoundedDistance(t *testing.T) {
+	g := NewGenerator(Spec{NumObjects: 100, MaxDistance: 0.05, Seed: 3})
+	for i := 0; i < 5000; i++ {
+		u := g.NextUpdate()
+		d := geom.Dist(u.Old, u.New)
+		if d > 0.05+1e-12 {
+			t.Fatalf("update %d moved %.4f > max 0.05", i, d)
+		}
+		if g.Position(u.OID) != u.New {
+			t.Fatalf("generator did not track position of %d", u.OID)
+		}
+	}
+}
+
+func TestQueriesWithinSpec(t *testing.T) {
+	g := NewGenerator(Spec{NumObjects: 10, QueryMaxSize: 0.2, Seed: 4})
+	for i := 0; i < 2000; i++ {
+		q := g.NextQuery()
+		if !q.Valid() {
+			t.Fatalf("invalid query %v", q)
+		}
+		if q.Width() > 0.2 || q.Height() > 0.2 {
+			t.Fatalf("query too large: %v", q)
+		}
+	}
+}
+
+func TestMixedStreamFractions(t *testing.T) {
+	for _, frac := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		g := NewGenerator(Spec{NumObjects: 100, Seed: 5})
+		ops := g.MixedStream(4000, frac)
+		updates := 0
+		for _, op := range ops {
+			if op.Kind == OpUpdate {
+				updates++
+			}
+		}
+		got := float64(updates) / float64(len(ops))
+		if math.Abs(got-frac) > 0.03 {
+			t.Fatalf("frac %v: got %.3f updates", frac, got)
+		}
+	}
+}
+
+func TestItems(t *testing.T) {
+	g := NewGenerator(Spec{NumObjects: 50, Seed: 6})
+	items := g.Items()
+	if len(items) != 50 {
+		t.Fatalf("items = %d", len(items))
+	}
+	for i, it := range items {
+		if it.OID != uint64(i) {
+			t.Fatalf("item %d oid = %d", i, it.OID)
+		}
+		if it.Rect != geom.RectFromPoint(g.Positions()[i]) {
+			t.Fatalf("item %d rect mismatch", i)
+		}
+	}
+}
+
+func TestParseDistribution(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want Distribution
+	}{{"uniform", Uniform}, {"gaussian", Gaussian}, {"skewed", Skewed}, {"skew", Skewed}} {
+		got, err := ParseDistribution(c.in)
+		if err != nil || got != c.want {
+			t.Fatalf("ParseDistribution(%q) = %v, %v", c.in, got, err)
+		}
+	}
+	if _, err := ParseDistribution("bogus"); err == nil {
+		t.Fatal("bogus distribution accepted")
+	}
+	if Uniform.String() != "uniform" || Gaussian.String() != "gaussian" || Skewed.String() != "skewed" {
+		t.Fatal("distribution names wrong")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	tr := BuildTrace(Spec{NumObjects: 200, Seed: 8}, 500, 100)
+	if len(tr.Initial) != 200 || len(tr.Updates) != 500 || len(tr.Queries) != 100 {
+		t.Fatalf("trace shape = %d/%d/%d", len(tr.Initial), len(tr.Updates), len(tr.Queries))
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec != tr.Spec {
+		t.Fatalf("spec round trip: %+v vs %+v", got.Spec, tr.Spec)
+	}
+	for i := range tr.Updates {
+		if got.Updates[i] != tr.Updates[i] {
+			t.Fatalf("update %d differs", i)
+		}
+	}
+	for i := range tr.Queries {
+		if got.Queries[i] != tr.Queries[i] {
+			t.Fatalf("query %d differs", i)
+		}
+	}
+}
+
+func TestTraceFileRoundTrip(t *testing.T) {
+	tr := BuildTrace(Spec{NumObjects: 50, Seed: 9}, 100, 20)
+	path := t.TempDir() + "/trace.gob"
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTraceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Updates) != 100 || len(got.Queries) != 20 {
+		t.Fatalf("file round trip shape wrong")
+	}
+}
+
+func TestTraceUpdatesAreChained(t *testing.T) {
+	// Each update's Old must equal the object's position produced by the
+	// prior history (initial or previous update).
+	tr := BuildTrace(Spec{NumObjects: 100, Seed: 10}, 2000, 0)
+	pos := append([]geom.Point(nil), tr.Initial...)
+	for i, u := range tr.Updates {
+		if pos[u.OID] != u.Old {
+			t.Fatalf("update %d: old = %v, tracked = %v", i, u.Old, pos[u.OID])
+		}
+		pos[u.OID] = u.New
+	}
+}

@@ -1,0 +1,213 @@
+package burtree
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"os"
+
+	"burtree/internal/buffer"
+	"burtree/internal/core"
+	"burtree/internal/pagestore"
+	"burtree/internal/rtree"
+	"burtree/internal/stats"
+)
+
+// savedIndex is the on-disk form of an Index: the full simulated page
+// store plus the metadata needed to re-attach the strategy. The summary
+// structure is main-memory only (as in the paper) and is rebuilt on
+// load.
+type savedIndex struct {
+	Format int // format version
+
+	Strategy              Strategy
+	PageSize              int
+	BufferPages           int
+	Epsilon               float64
+	DistanceThreshold     float64
+	LevelThreshold        int
+	ExpectedObjects       int
+	ReinsertFraction      float64
+	SplitAlgorithm        int
+	DisablePiggyback      bool
+	DisableSummaryQueries bool
+
+	Pages [][]byte
+	Freed []uint64
+
+	Root   uint64
+	Height int
+	Size   int
+
+	HashDirectory []uint64
+	HashSize      int
+
+	Objects map[uint64]Point
+}
+
+const saveFormat = 1
+
+// Save serializes the complete index — pages, structural metadata and
+// the object table — to w. The buffer pool is flushed first, so the
+// snapshot is self-consistent.
+func (x *Index) Save(w io.Writer) error {
+	if err := x.pool.Flush(); err != nil {
+		return fmt.Errorf("burtree: save: %w", err)
+	}
+	st, err := core.SaveState(x.updater)
+	if err != nil {
+		return fmt.Errorf("burtree: save: %w", err)
+	}
+	pageSize, pages, freed := x.store.Dump()
+
+	opts := x.options
+	s := savedIndex{
+		Format:                saveFormat,
+		Strategy:              opts.Strategy,
+		PageSize:              pageSize,
+		BufferPages:           opts.BufferPages,
+		Epsilon:               opts.Epsilon,
+		DistanceThreshold:     opts.DistanceThreshold,
+		LevelThreshold:        opts.LevelThreshold,
+		ExpectedObjects:       opts.ExpectedObjects,
+		ReinsertFraction:      opts.ReinsertFraction,
+		SplitAlgorithm:        int(opts.SplitAlgorithm),
+		DisablePiggyback:      opts.DisablePiggyback,
+		DisableSummaryQueries: opts.DisableSummaryQueries,
+		Pages:                 pages,
+		Root:                  uint64(st.Root),
+		Height:                st.Height,
+		Size:                  st.Size,
+		HashSize:              st.HashSize,
+		Objects:               x.objects,
+	}
+	for _, f := range freed {
+		s.Freed = append(s.Freed, uint64(f))
+	}
+	for _, p := range st.HashDirectory {
+		s.HashDirectory = append(s.HashDirectory, uint64(p))
+	}
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(&s); err != nil {
+		return fmt.Errorf("burtree: save: %w", err)
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the index snapshot to a file.
+func (x *Index) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := x.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// Load reconstructs an index from a Save snapshot. The restored index
+// behaves identically to the original: same pages, same strategy, same
+// object table; the main-memory summary structure is rebuilt by one
+// tree walk.
+func Load(r io.Reader) (*Index, error) {
+	var s savedIndex
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&s); err != nil {
+		return nil, fmt.Errorf("burtree: load: %w", err)
+	}
+	if s.Format != saveFormat {
+		return nil, fmt.Errorf("burtree: load: unsupported format %d", s.Format)
+	}
+	kind, err := s.Strategy.kind()
+	if err != nil {
+		return nil, fmt.Errorf("burtree: load: %w", err)
+	}
+	io := &stats.IO{}
+	freed := make([]pagestore.PageID, len(s.Freed))
+	for i, f := range s.Freed {
+		freed[i] = pagestore.PageID(f)
+	}
+	store, err := pagestore.NewFromDump(s.PageSize, s.Pages, freed, io)
+	if err != nil {
+		return nil, fmt.Errorf("burtree: load: %w", err)
+	}
+	pool := buffer.New(store, s.BufferPages)
+
+	reinsert := s.ReinsertFraction
+	if reinsert == 0 {
+		reinsert = 0.3
+	}
+	if reinsert < 0 {
+		reinsert = 0
+	}
+	lvl := s.LevelThreshold
+	if lvl == 0 {
+		lvl = core.UnrestrictedLevels
+	}
+	expected := s.ExpectedObjects
+	if expected == 0 {
+		expected = 1024
+	}
+	dir := make([]rtree.PageID, len(s.HashDirectory))
+	for i, p := range s.HashDirectory {
+		dir[i] = rtree.PageID(p)
+	}
+	u, err := core.Restore(pool, core.Options{
+		Strategy:          kind,
+		Epsilon:           s.Epsilon,
+		DistanceThreshold: s.DistanceThreshold,
+		LevelThreshold:    lvl,
+		NoPiggyback:       s.DisablePiggyback,
+		NoSummaryQueries:  s.DisableSummaryQueries,
+		ExpectedObjects:   expected,
+		Tree: rtree.Config{
+			ReinsertFraction: reinsert,
+			Split:            rtree.SplitAlgorithm(s.SplitAlgorithm),
+		},
+	}, core.RestoreState{
+		Root:          rtree.PageID(s.Root),
+		Height:        s.Height,
+		Size:          s.Size,
+		HashDirectory: dir,
+		HashSize:      s.HashSize,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("burtree: load: %w", err)
+	}
+	objects := s.Objects
+	if objects == nil {
+		objects = make(map[uint64]Point)
+	}
+	return &Index{
+		store:   store,
+		pool:    pool,
+		io:      io,
+		updater: u,
+		objects: objects,
+		options: Options{
+			Strategy:              s.Strategy,
+			PageSize:              s.PageSize,
+			BufferPages:           s.BufferPages,
+			Epsilon:               s.Epsilon,
+			DistanceThreshold:     s.DistanceThreshold,
+			LevelThreshold:        s.LevelThreshold,
+			ExpectedObjects:       s.ExpectedObjects,
+			ReinsertFraction:      s.ReinsertFraction,
+			SplitAlgorithm:        rtree.SplitAlgorithm(s.SplitAlgorithm),
+			DisablePiggyback:      s.DisablePiggyback,
+			DisableSummaryQueries: s.DisableSummaryQueries,
+		},
+	}, nil
+}
+
+// LoadFile reads an index snapshot from a file.
+func LoadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

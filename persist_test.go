@@ -1,0 +1,179 @@
+package burtree
+
+import (
+	"bytes"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func buildForPersist(t *testing.T, s Strategy) (*Index, *rand.Rand) {
+	t.Helper()
+	x, err := Open(Options{Strategy: s, ExpectedObjects: 2000, BufferPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(61))
+	for i := 0; i < 1500; i++ {
+		if err := x.Insert(uint64(i), Point{X: rng.Float64(), Y: rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for step := 0; step < 2000; step++ {
+		id := uint64(rng.Intn(1500))
+		p, _ := x.Location(id)
+		np := Point{X: p.X + (rng.Float64()-0.5)*0.05, Y: p.Y + (rng.Float64()-0.5)*0.05}
+		if err := x.Update(id, np); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return x, rng
+}
+
+func queriesMatch(t *testing.T, a, b *Index, rng *rand.Rand, n int) {
+	t.Helper()
+	for q := 0; q < n; q++ {
+		cx, cy := rng.Float64(), rng.Float64()
+		w := NewRect(cx, cy, cx+rng.Float64()*0.1, cy+rng.Float64()*0.1)
+		ra, err := a.Search(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := b.Search(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(ra, func(i, j int) bool { return ra[i] < ra[j] })
+		sort.Slice(rb, func(i, j int) bool { return rb[i] < rb[j] })
+		if len(ra) != len(rb) {
+			t.Fatalf("query %v: %d vs %d results", w, len(ra), len(rb))
+		}
+		for i := range ra {
+			if ra[i] != rb[i] {
+				t.Fatalf("query %v: result %d differs", w, i)
+			}
+		}
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	for _, s := range allFacadeStrategies() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			orig, rng := buildForPersist(t, s)
+			var buf bytes.Buffer
+			if err := orig.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := Load(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.Len() != orig.Len() {
+				t.Fatalf("Len = %d, want %d", loaded.Len(), orig.Len())
+			}
+			if err := loaded.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			queriesMatch(t, orig, loaded, rng, 30)
+		})
+	}
+}
+
+func TestLoadedIndexKeepsWorking(t *testing.T) {
+	orig, rng := buildForPersist(t, GeneralizedBottomUp)
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	x, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The loaded index must accept the full op mix: updates (all
+	// bottom-up paths), inserts, deletes.
+	for step := 0; step < 3000; step++ {
+		id := uint64(rng.Intn(1500))
+		p, ok := x.Location(id)
+		if !ok {
+			continue
+		}
+		np := Point{X: p.X + (rng.Float64()-0.5)*0.08, Y: p.Y + (rng.Float64()-0.5)*0.08}
+		if err := x.Update(id, np); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+	for i := 1500; i < 1700; i++ {
+		if err := x.Insert(uint64(i), Point{X: rng.Float64(), Y: rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if err := x.Delete(uint64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := x.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if x.Len() != 1600 {
+		t.Fatalf("Len = %d, want 1600", x.Len())
+	}
+	// Update outcomes should include local resolutions (summary and hash
+	// were rebuilt correctly).
+	out := x.Stats().Outcomes
+	if out.InLeaf+out.Extended+out.Shifted == 0 {
+		t.Fatalf("no local resolutions after load: %+v", out)
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	orig, rng := buildForPersist(t, LocalizedBottomUp)
+	path := t.TempDir() + "/index.bur"
+	if err := orig.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	queriesMatch(t, orig, loaded, rng, 15)
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(bytes.NewReader([]byte("not an index"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	var empty bytes.Buffer
+	if _, err := Load(&empty); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestSaveLoadEmptyIndex(t *testing.T) {
+	x, err := Open(Options{Strategy: GeneralizedBottomUp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 0 {
+		t.Fatalf("Len = %d", loaded.Len())
+	}
+	// And it accepts inserts.
+	if err := loaded.Insert(1, Point{X: 0.5, Y: 0.5}); err != nil {
+		t.Fatal(err)
+	}
+	if err := loaded.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
