@@ -60,6 +60,7 @@ func BenchmarkFig6hBufferQuery(b *testing.B)        { benchExperiment(b, "fig6h"
 func BenchmarkFig7aScaleUpdate(b *testing.B)        { benchExperiment(b, "fig7a") }
 func BenchmarkFig7bScaleQuery(b *testing.B)         { benchExperiment(b, "fig7b") }
 func BenchmarkFig8Throughput(b *testing.B)          { benchExperiment(b, "fig8") }
+func BenchmarkBatchUpdate(b *testing.B)             { benchExperiment(b, "batch") }
 func BenchmarkNaiveBottomUp(b *testing.B)           { benchExperiment(b, "naive") }
 func BenchmarkSummarySize(b *testing.B)             { benchExperiment(b, "table-summary-size") }
 func BenchmarkCostModel(b *testing.B)               { benchExperiment(b, "cost") }
@@ -104,6 +105,39 @@ func benchUpdates(b *testing.B, s Strategy, maxDist float64) {
 func BenchmarkUpdateTD(b *testing.B)  { benchUpdates(b, TopDown, 0.03) }
 func BenchmarkUpdateLBU(b *testing.B) { benchUpdates(b, LocalizedBottomUp, 0.03) }
 func BenchmarkUpdateGBU(b *testing.B) { benchUpdates(b, GeneralizedBottomUp, 0.03) }
+
+// benchUpdateBatch drives the batched pipeline with windows of the
+// given size; io/op counts disk accesses per moved object.
+func benchUpdateBatch(b *testing.B, s Strategy, batch int) {
+	const n = 20_000
+	x, rng := benchIndex(b, s, n)
+	x.ResetStats()
+	changes := make([]Change, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	moves := 0
+	for i := 0; i < b.N; i++ {
+		for j := range changes {
+			id := uint64(rng.Intn(n))
+			p, _ := x.Location(id)
+			changes[j] = Change{ID: id, To: Point{
+				X: p.X + (rng.Float64()*2-1)*0.03,
+				Y: p.Y + (rng.Float64()*2-1)*0.03,
+			}}
+		}
+		if _, err := x.UpdateBatch(changes); err != nil {
+			b.Fatal(err)
+		}
+		moves += batch
+	}
+	b.StopTimer()
+	st := x.Stats()
+	b.ReportMetric(float64(st.DiskReads+st.DiskWrites)/float64(moves), "io/op")
+}
+
+func BenchmarkUpdateBatchGBU32(b *testing.B)  { benchUpdateBatch(b, GeneralizedBottomUp, 32) }
+func BenchmarkUpdateBatchGBU512(b *testing.B) { benchUpdateBatch(b, GeneralizedBottomUp, 512) }
+func BenchmarkUpdateBatchLBU512(b *testing.B) { benchUpdateBatch(b, LocalizedBottomUp, 512) }
 
 func benchQueries(b *testing.B, s Strategy) {
 	const n = 20_000

@@ -19,6 +19,12 @@
 //     with piggybacking, ascent to the lowest bounding ancestor
 //     (Algorithm 3), and memory-resident query planning.
 //
+// Beyond the paper, UpdateBatch applies buffered moves through a
+// batched bottom-up pipeline: repeated moves of an object coalesce to
+// the final position and the surviving changes are grouped by target
+// leaf, so each group costs one leaf read, one MBR extension decision
+// and one write instead of one of each per object.
+//
 // Storage is a simulated page store (1 KB pages by default, as in the
 // paper) behind an LRU buffer pool, with physical reads and writes
 // counted exactly the way the paper's evaluation reports them. The same
@@ -91,8 +97,18 @@ func (s Strategy) kind() (core.Kind, error) {
 }
 
 // Options configures an Index. The zero value selects the paper's
-// defaults with the TopDown strategy; set Strategy to
-// GeneralizedBottomUp for the paper's recommended configuration.
+// defaults (the bold entries of its Table 1) with the TopDown strategy;
+// set Strategy to GeneralizedBottomUp for the paper's recommended
+// configuration.
+//
+// The tuning parameters carry the paper's names:
+//
+//	field              paper  default  used by
+//	Epsilon            ε      0.003    LBU, GBU (MBR enlargement cap)
+//	DistanceThreshold  δ      0.03     GBU (shift-before-extend cutoff)
+//	LevelThreshold     λ      ∞        GBU (max ascent above the leaves)
+//	PageSize           —      1024 B   all (node fanout follows)
+//	ReinsertFraction   —      0.3      all (R*-style forced reinsertion)
 type Options struct {
 	// Strategy picks the update algorithm.
 	Strategy Strategy
@@ -102,17 +118,26 @@ type Options struct {
 	// BufferPages is the LRU buffer pool capacity in pages. Zero
 	// disables caching (every access is a disk access).
 	BufferPages int
-	// Epsilon is the ε MBR-enlargement cap (default 0.003). Only the
-	// bottom-up strategies use it.
+	// Epsilon is the paper's ε parameter: the cap on how far a leaf MBR
+	// may be enlarged per update (default 0.003, in data-space units of
+	// the unit square). LBU enlarges uniformly in all directions; GBU
+	// enlarges only toward the movement (Algorithm 4). TopDown ignores
+	// it.
 	Epsilon float64
-	// DistanceThreshold is the GBU δ parameter (default 0.03): objects
-	// that moved farther than δ try a sibling shift before an extension.
+	// DistanceThreshold is the paper's δ parameter (default 0.03):
+	// objects that moved farther than δ since their last position are
+	// likely to leave the neighbourhood for good, so GBU tries a sibling
+	// shift before an ε-extension for them, and the reverse for slow
+	// movers (§3.2.1 optimization 2).
 	DistanceThreshold float64
-	// LevelThreshold is the GBU λ parameter: how many levels an update
-	// may ascend. Zero (default) means unrestricted.
+	// LevelThreshold is the paper's λ parameter: how many levels above
+	// the leaves a GBU update may ascend when the local repair fails
+	// (Algorithm 3). Zero (the default) means unrestricted — ascend as
+	// far as necessary, the paper's recommended setting.
 	LevelThreshold int
-	// ExpectedObjects sizes the secondary hash index of the bottom-up
-	// strategies.
+	// ExpectedObjects sizes the secondary object-id hash index of the
+	// bottom-up strategies (default 1024; undersizing costs overflow
+	// pages, not correctness).
 	ExpectedObjects int
 	// ReinsertFraction enables R*-style forced reinsertion on overflow
 	// (default 0.3, matching the paper's "R-tree with reinsertions";
@@ -263,6 +288,91 @@ func (x *Index) Update(id uint64, p Point) error {
 	}
 	x.objects[id] = p
 	return nil
+}
+
+// Change is one object move inside a batch: object ID moves to
+// position To. The index knows each object's current position, so a
+// change carries only the destination, like Update.
+type Change struct {
+	// ID names an object already in the index.
+	ID uint64
+	// To is the object's new position.
+	To Point
+}
+
+// BatchResult reports how UpdateBatch resolved a batch.
+type BatchResult struct {
+	// Applied is the number of moves applied to the index after
+	// coalescing (one per distinct object id in the batch).
+	Applied int
+	// Coalesced is the number of input changes superseded by a later
+	// move of the same object within the batch; they cost no index work.
+	Coalesced int
+	// Groups is the number of target-leaf groups the batch formed.
+	Groups int
+	// GroupResolved is the number of changes resolved by a shared
+	// per-leaf pass: one leaf read, one extension decision and one write
+	// covering the whole group.
+	GroupResolved int
+	// Fallback is the number of changes applied through a per-object
+	// path instead of a shared group pass: changes the group pass
+	// declined (sibling shift, ascent, top-down), plus every change of
+	// a batch when the strategy has no group support at all (TopDown
+	// runs batches sequentially, so there Fallback equals Applied).
+	Fallback int
+}
+
+// coalesceChanges validates every id against lookup, then coalesces
+// repeated moves of the same object to the final position through
+// core.Coalesce (one shared definition of the last-write-wins rule).
+// It returns the number of superseded input changes; an unknown id
+// aborts with ErrUnknownObject. Shared by Index and ConcurrentIndex.
+func coalesceChanges(changes []Change, lookup func(uint64) (Point, bool)) ([]core.BatchChange, int, error) {
+	raw := make([]core.BatchChange, len(changes))
+	for i, c := range changes {
+		old, ok := lookup(c.ID)
+		if !ok {
+			return nil, 0, fmt.Errorf("%w: %d", ErrUnknownObject, c.ID)
+		}
+		raw[i] = core.BatchChange{OID: c.ID, Old: old, New: c.To}
+	}
+	out, dropped := core.Coalesce(raw)
+	return out, dropped, nil
+}
+
+// UpdateBatch moves many objects at once through the batched bottom-up
+// pipeline: repeated moves of the same object are coalesced to the last
+// position, the surviving changes are grouped by target leaf via the
+// secondary hash index, and each leaf's group is applied in one
+// bottom-up pass — one leaf read, one MBR extension decision covering
+// the whole group, one write — falling back to the configured
+// strategy's per-object path only for the changes the group pass cannot
+// resolve. With the TopDown strategy (which has no per-leaf state to
+// amortize) the batch degrades to a sequential application.
+//
+// Every id must already be in the index; an unknown id fails the whole
+// batch before anything is applied. A batch is not atomic with respect
+// to errors: if a change fails mid-batch, the error is returned and the
+// changes before it remain applied (the returned BatchResult counts
+// them).
+func (x *Index) UpdateBatch(changes []Change) (BatchResult, error) {
+	var res BatchResult
+	coalesced, dropped, err := coalesceChanges(changes, func(id uint64) (Point, bool) {
+		p, ok := x.objects[id]
+		return p, ok
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Coalesced = dropped
+	st, err := core.ApplyBatch(x.updater, coalesced, func(c core.BatchChange) {
+		x.objects[c.OID] = c.New
+		res.Applied++
+	})
+	res.Groups = st.Groups
+	res.GroupResolved = st.GroupResolved
+	res.Fallback = st.LocalFallback + st.Sequential
+	return res, err
 }
 
 // Delete removes an object.

@@ -35,6 +35,7 @@ func main() {
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
 		out        = flag.String("o", "", "write output to a file instead of stdout")
 		threads    = flag.Int("threads", 0, "override thread count for the throughput study (default 50)")
+		batch      = flag.Int("batch", 0, "pin the batch experiment's sweep to {1, N} instead of the default sizes")
 	)
 	flag.Parse()
 
@@ -66,6 +67,9 @@ func main() {
 	}
 	if *threads > 0 {
 		s.Threads = *threads
+	}
+	if *batch > 0 {
+		s.Batch = *batch
 	}
 
 	var ids []string

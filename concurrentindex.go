@@ -123,6 +123,47 @@ func (x *ConcurrentIndex) Update(id uint64, p Point) error {
 	return nil
 }
 
+// UpdateBatch moves many objects at once through the batched bottom-up
+// pipeline. Changes are coalesced to the last position per object and
+// grouped by target leaf; each group acquires its granule locks once —
+// the union of the members' movement cells plus the group's leaf and
+// parent page granules — and is applied in one bottom-up pass under the
+// shared latch, so a batch pays one lock acquisition and one leaf
+// read/write per group instead of one per object. Changes that need an
+// ascent or a top-down pass escalate to the exclusive path exactly as
+// Update does.
+//
+// Every id must already be in the index; an unknown id fails the whole
+// batch before anything is applied. A batch is not atomic: concurrent
+// readers may observe a partially applied batch, and on error the
+// changes before the failure remain applied. Concurrent Update calls on
+// ids that are also in the batch race with it (last writer wins);
+// callers that need per-object ordering serialize their own access, as
+// with Update.
+func (x *ConcurrentIndex) UpdateBatch(changes []Change) (BatchResult, error) {
+	var res BatchResult
+	x.mu.RLock()
+	coalesced, dropped, err := coalesceChanges(changes, func(id uint64) (Point, bool) {
+		p, ok := x.objects[id]
+		return p, ok
+	})
+	x.mu.RUnlock()
+	if err != nil {
+		return res, err
+	}
+	res.Coalesced = dropped
+	st, err := x.db.UpdateBatch(coalesced, func(c core.BatchChange) {
+		x.mu.Lock()
+		x.objects[c.OID] = c.New
+		x.mu.Unlock()
+		res.Applied++
+	})
+	res.Groups = st.Groups
+	res.GroupResolved = st.GroupResolved
+	res.Fallback = st.LocalFallback + st.Sequential
+	return res, err
+}
+
 // Delete removes an object.
 func (x *ConcurrentIndex) Delete(id uint64) error {
 	x.mu.Lock()

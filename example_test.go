@@ -28,6 +28,33 @@ func Example() {
 	// Output: [7]
 }
 
+// Update-heavy feeds (fleets, sensor swarms) should buffer reports and
+// apply them through UpdateBatch: repeated moves of the same object are
+// coalesced to the final position, and the surviving changes are
+// grouped by target leaf so each group costs one leaf read and write
+// instead of one per object.
+func Example_batchUpdate() {
+	idx, err := burtree.Open(burtree.Options{Strategy: burtree.GeneralizedBottomUp})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := uint64(0); i < 100; i++ {
+		idx.Insert(i, burtree.Point{X: float64(i) / 100, Y: 0.5})
+	}
+	res, err := idx.UpdateBatch([]burtree.Change{
+		{ID: 10, To: burtree.Point{X: 0.101, Y: 0.501}},
+		{ID: 20, To: burtree.Point{X: 0.201, Y: 0.501}},
+		{ID: 10, To: burtree.Point{X: 0.102, Y: 0.502}}, // supersedes the first move
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	p, _ := idx.Location(10)
+	fmt.Printf("applied=%d coalesced=%d object 10 at (%.3f, %.3f)\n",
+		res.Applied, res.Coalesced, p.X, p.Y)
+	// Output: applied=2 coalesced=1 object 10 at (0.102, 0.502)
+}
+
 // Nearest-neighbour queries use the standard best-first traversal.
 func ExampleIndex_Nearest() {
 	idx, err := burtree.Open(burtree.Options{Strategy: burtree.TopDown})

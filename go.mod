@@ -1,0 +1,3 @@
+module burtree
+
+go 1.24

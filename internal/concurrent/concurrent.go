@@ -48,6 +48,7 @@ type DB struct {
 	retries   atomic.Int64
 	local     atomic.Int64
 	escalated atomic.Int64
+	batched   atomic.Int64
 }
 
 // New wraps u with an N×N granule grid. A gridN of 0 defaults to 32.
@@ -77,6 +78,7 @@ type Stats struct {
 	Retries   int64
 	Local     int64 // updates resolved on the fine-grained path
 	Escalated int64 // updates that required exclusive access
+	Batched   int64 // updates resolved under a leaf-group lock (UpdateBatch)
 }
 
 // Stats returns a snapshot of the counters.
@@ -88,6 +90,7 @@ func (d *DB) Stats() Stats {
 		Retries:   d.retries.Load(),
 		Local:     d.local.Load(),
 		Escalated: d.escalated.Load(),
+		Batched:   d.batched.Load(),
 	}
 }
 
@@ -297,4 +300,203 @@ func (d *DB) lockAll(txn *dgl.Txn, treeMode, cellMode dgl.Mode, cells []dgl.Gran
 		}
 	}
 	return nil
+}
+
+// UpdateBatch applies an already-coalesced batch of moves, acquiring
+// granule locks per leaf-group instead of per object: the changes are
+// grouped by target leaf under the shared latch, then each group locks
+// the union of its movement cells plus the group's leaf and parent page
+// granules once, applies the whole group bottom-up (the strategy's
+// group pass, then per-object local attempts on the still-buffered
+// leaf), and only the changes that need an ascent or a top-down pass
+// escalate to the exclusive path. Strategies without batch support run
+// change by change through Update.
+//
+// done, when non-nil, is invoked after each change is applied; on error
+// the batch stops, so done has been called exactly for the applied
+// prefix (a batch is not atomic).
+func (d *DB) UpdateBatch(changes []core.BatchChange, done func(core.BatchChange)) (core.BatchStats, error) {
+	var st core.BatchStats
+	ga, gok := d.u.(core.GroupApplier)
+	lu, lok := d.u.(core.LocalUpdater)
+	if !gok || !lok {
+		return st, d.applySequential(changes, &st, done)
+	}
+
+	// Group by leaf under the shared latch (hash reads only).
+	type group struct {
+		leaf    rtree.PageID
+		changes []core.BatchChange
+	}
+	at := make(map[rtree.PageID]int)
+	var groups []group
+	var loose []core.BatchChange
+	d.latch.RLock()
+	for _, c := range core.OrderForGrouping(d.u, changes) {
+		leaf, err := ga.LeafOf(c.OID)
+		if err != nil {
+			loose = append(loose, c) // let Update produce the definitive error
+			continue
+		}
+		j, ok := at[leaf]
+		if !ok {
+			j = len(groups)
+			at[leaf] = j
+			groups = append(groups, group{leaf: leaf})
+		}
+		groups[j].changes = append(groups[j].changes, c)
+	}
+	d.latch.RUnlock()
+	sort.Slice(groups, func(i, j int) bool { return groups[i].leaf < groups[j].leaf })
+
+	for _, g := range groups {
+		st.Groups++
+		if err := d.applyGroup(ga, lu, g.leaf, g.changes, &st, done); err != nil {
+			return st, err
+		}
+	}
+	return st, d.applySequential(loose, &st, done)
+}
+
+// applySequential applies changes one by one through the per-object
+// Update path (which does its own locking and escalation), keeping the
+// batch accounting.
+func (d *DB) applySequential(cs []core.BatchChange, st *core.BatchStats, done func(core.BatchChange)) error {
+	for _, c := range cs {
+		if err := d.Update(c.OID, c.Old, c.New); err != nil {
+			return err
+		}
+		st.Changes++
+		st.Sequential++
+		if done != nil {
+			done(c)
+		}
+	}
+	return nil
+}
+
+// applyGroup locks one leaf-group's scope — IX on the tree, X on the
+// movement cells of every member, X on the leaf and parent page
+// granules — and resolves as much of the group as possible under the
+// shared latch. Members that moved leaves in the meantime or need
+// non-local work are handed to the per-object Update path afterwards.
+func (d *DB) applyGroup(ga core.GroupApplier, lu core.LocalUpdater, leaf rtree.PageID, group []core.BatchChange, st *core.BatchStats, done func(core.BatchChange)) error {
+	escalateAll := func(cs []core.BatchChange) error { return d.applySequential(cs, st, done) }
+
+	// The union of the group's movement cells, sorted and deduplicated.
+	cellSet := make(map[dgl.GranuleID]bool, 2*len(group))
+	for _, c := range group {
+		cellSet[d.cellOf(c.Old)] = true
+		cellSet[d.cellOf(c.New)] = true
+	}
+	cells := make([]dgl.GranuleID, 0, len(cellSet))
+	for id := range cellSet {
+		cells = append(cells, id)
+	}
+	sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
+
+	const maxAttempts = 8
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		d.latch.RLock()
+		scope, err := lu.LocalScope(group[0].OID)
+		d.latch.RUnlock()
+		if err != nil {
+			return escalateAll(group)
+		}
+		// The granules to lock are the GROUP's leaf and its parent. If
+		// group[0]'s object has already moved to another leaf, its scope
+		// no longer names this group's pages — locking it would let the
+		// remaining members write the original leaf without holding its
+		// granule. Escalate instead; each member then locks for itself.
+		if len(scope) == 0 || scope[0] != leaf {
+			return escalateAll(group)
+		}
+		granules := make([]dgl.GranuleID, 0, len(scope))
+		for _, p := range scope {
+			granules = append(granules, d.pageGranule(p))
+		}
+		sort.Slice(granules, func(i, j int) bool { return granules[i] < granules[j] })
+
+		txn := d.lm.Begin()
+		if err := d.lockAll(txn, dgl.IX, dgl.X, append(append([]dgl.GranuleID{}, cells...), granules...)); err != nil {
+			d.lm.ReleaseAll(txn)
+			d.timeouts.Add(1)
+			d.retries.Add(1)
+			continue
+		}
+		// Re-validate under the locks: the scope must be unchanged and
+		// every member must still live in this leaf; stragglers escalate.
+		d.latch.RLock()
+		scope2, err := lu.LocalScope(group[0].OID)
+		if err != nil || !samePages(scope, scope2) {
+			d.latch.RUnlock()
+			d.lm.ReleaseAll(txn)
+			if err != nil {
+				return escalateAll(group)
+			}
+			d.retries.Add(1)
+			continue
+		}
+		var members, stale []core.BatchChange
+		for _, c := range group {
+			if pg, err := ga.LeafOf(c.OID); err == nil && pg == leaf {
+				members = append(members, c)
+			} else {
+				stale = append(stale, c)
+			}
+		}
+		var groupResolved, localResolved, unresolved []core.BatchChange
+		if len(members) > 0 {
+			un, err := ga.ApplyLeafGroup(leaf, members)
+			if err != nil {
+				d.latch.RUnlock()
+				d.lm.ReleaseAll(txn)
+				return err
+			}
+			declined := make(map[rtree.OID]bool, len(un))
+			for _, c := range un {
+				declined[c.OID] = true
+			}
+			for _, c := range members {
+				if !declined[c.OID] {
+					groupResolved = append(groupResolved, c)
+				}
+			}
+			// Per-object local attempts while the leaf is still buffered
+			// and the granules are still held.
+			for _, c := range un {
+				ok, err := ga.UpdateAtLeaf(leaf, c, true)
+				if err != nil {
+					d.latch.RUnlock()
+					d.lm.ReleaseAll(txn)
+					return err
+				}
+				if ok {
+					localResolved = append(localResolved, c)
+				} else {
+					unresolved = append(unresolved, c)
+				}
+			}
+		}
+		d.latch.RUnlock()
+		d.lm.ReleaseAll(txn)
+
+		st.GroupResolved += len(groupResolved)
+		st.LocalFallback += len(localResolved)
+		for _, c := range append(groupResolved, localResolved...) {
+			d.updates.Add(1)
+			d.local.Add(1)
+			d.batched.Add(1)
+			st.Changes++
+			if done != nil {
+				done(c)
+			}
+		}
+		if err := escalateAll(stale); err != nil {
+			return err
+		}
+		return escalateAll(unresolved)
+	}
+	// Lock acquisition kept failing; take the per-object path.
+	return escalateAll(group)
 }

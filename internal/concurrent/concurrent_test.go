@@ -1,6 +1,7 @@
 package concurrent
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -186,5 +187,114 @@ func TestGBUMostlyLocalUnderLocality(t *testing.T) {
 	}
 	if err := db.Updater().Tree().CheckInvariants(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestBatchUpdateUnderConcurrency mixes batched updates, per-object
+// updates and queries from many goroutines, then checks invariants and
+// the batched-resolution accounting after quiescence.
+func TestBatchUpdateUnderConcurrency(t *testing.T) {
+	for _, kind := range []core.Kind{core.TD, core.LBU, core.GBU} {
+		kind := kind
+		t.Run(kind.String(), func(t *testing.T) {
+			const n = 2000
+			db, pos := newDB(t, kind, n)
+			var mu sync.Mutex // guards pos
+
+			const workers = 8
+			var wg sync.WaitGroup
+			var firstErr error
+			var errOnce sync.Once
+			fail := func(err error) { errOnce.Do(func() { firstErr = err }) }
+			for w := 0; w < workers; w++ {
+				w := w
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(900 + w)))
+					for round := 0; round < 10; round++ {
+						switch {
+						case w%4 == 3: // one in four workers queries
+							c := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+							if _, err := db.Query(geom.Rect{MinX: c.X, MinY: c.Y, MaxX: c.X + 0.05, MaxY: c.Y + 0.05}); err != nil {
+								fail(err)
+								return
+							}
+						default:
+							// Each worker owns a disjoint id range: as with
+							// Update, concurrent moves of the same object
+							// require caller-side serialization.
+							lo, hi := w*n/workers, (w+1)*n/workers
+							batch := make([]core.BatchChange, 0, 40)
+							mu.Lock()
+							seen := map[rtree.OID]bool{}
+							for len(batch) < 40 {
+								oid := rtree.OID(lo + rng.Intn(hi-lo))
+								if seen[oid] {
+									continue // UpdateBatch expects coalesced input
+								}
+								seen[oid] = true
+								old := pos[oid]
+								np := geom.Point{
+									X: old.X + (rng.Float64()*2-1)*0.02,
+									Y: old.Y + (rng.Float64()*2-1)*0.02,
+								}
+								batch = append(batch, core.BatchChange{OID: oid, Old: old, New: np})
+							}
+							mu.Unlock()
+							st, err := db.UpdateBatch(batch, func(c core.BatchChange) {
+								mu.Lock()
+								pos[c.OID] = c.New
+								mu.Unlock()
+							})
+							if err != nil {
+								fail(err)
+								return
+							}
+							if st.Changes != len(batch) {
+								fail(fmt.Errorf("%v: batch applied %d of %d", kind, st.Changes, len(batch)))
+								return
+							}
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			if firstErr != nil {
+				t.Fatal(firstErr)
+			}
+
+			u := db.Updater()
+			if err := u.Err(); err != nil {
+				t.Fatalf("sticky error: %v", err)
+			}
+			if err := u.Tree().CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if u.Tree().Size() != n {
+				t.Fatalf("tree size %d, want %d", u.Tree().Size(), n)
+			}
+			// Every tracked position must be findable where we think it is.
+			mu.Lock()
+			defer mu.Unlock()
+			for i := 0; i < 50; i++ {
+				p := pos[rtree.OID(i)]
+				got, err := db.Query(geom.Rect{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got == 0 {
+					t.Fatalf("object %d not found at %v", i, p)
+				}
+			}
+			st := db.Stats()
+			if kind == core.TD {
+				if st.Batched != 0 {
+					t.Fatalf("TD reported %d batched resolutions", st.Batched)
+				}
+			} else if st.Batched == 0 {
+				t.Fatalf("%v resolved nothing under leaf-group locks: %+v", kind, st)
+			}
+		})
 	}
 }

@@ -1,0 +1,243 @@
+package core
+
+// Batched bottom-up updates. A batch coalesces repeated moves of the
+// same object to the final position, groups the surviving changes by
+// target leaf through the secondary object-id hash index, and applies
+// each leaf's group in one bottom-up pass: one leaf read, one MBR
+// extension decision covering the whole group, one leaf write and one
+// parent sync. Changes the group pass cannot resolve fall back to the
+// configured strategy's per-object path — with the leaf already in the
+// buffer, so the fallback never re-pays the direct-access I/O the
+// sequential path charges every update.
+//
+// The pipeline generalizes the paper's bottom-up premise the way the
+// LSM- and batch-dynamic lines of follow-up work do: when updates are
+// frequent enough to arrive in groups, the summary-structure and leaf
+// accesses can be amortized across the group instead of being repaid
+// per update.
+
+import (
+	"fmt"
+	"sort"
+
+	"burtree/internal/geom"
+	"burtree/internal/rtree"
+)
+
+// BatchChange is one object move inside a batch: the object's position
+// before the batch and its final position. Batches are expressed after
+// coalescing, so each OID appears at most once.
+type BatchChange struct {
+	OID rtree.OID
+	Old geom.Point
+	New geom.Point
+}
+
+// BatchStats reports how ApplyBatch resolved a batch.
+type BatchStats struct {
+	// Changes is the number of coalesced changes applied.
+	Changes int
+	// Groups is the number of leaf groups formed.
+	Groups int
+	// GroupResolved counts changes resolved by the shared per-leaf pass
+	// (in-leaf rewrite or the group extension decision).
+	GroupResolved int
+	// LocalFallback counts changes handed to the strategy's per-object
+	// path after the group pass declined them (shift, ascent, top-down).
+	LocalFallback int
+	// Sequential counts changes applied through the plain Update path:
+	// the strategy has no batch support (TD) or the object had no
+	// secondary-index entry.
+	Sequential int
+}
+
+// Add accumulates o into s; the experiment harness sums the stats of
+// every batch window of a run this way.
+func (s *BatchStats) Add(o BatchStats) {
+	s.Changes += o.Changes
+	s.Groups += o.Groups
+	s.GroupResolved += o.GroupResolved
+	s.LocalFallback += o.LocalFallback
+	s.Sequential += o.Sequential
+}
+
+// Coalesce collapses repeated moves of the same object into a single
+// change to the last position, preserving first-occurrence order. The
+// surviving change keeps the Old of the first occurrence, so it still
+// describes the net move across the whole batch. It returns the number
+// of superseded input changes alongside the compacted slice (a new
+// slice; the input is not modified).
+func Coalesce(changes []BatchChange) ([]BatchChange, int) {
+	out := make([]BatchChange, 0, len(changes))
+	at := make(map[rtree.OID]int, len(changes))
+	dropped := 0
+	for _, c := range changes {
+		if j, ok := at[c.OID]; ok {
+			out[j].New = c.New
+			dropped++
+			continue
+		}
+		at[c.OID] = len(out)
+		out = append(out, c)
+	}
+	return out, dropped
+}
+
+// GroupApplier is the optional batch surface of the bottom-up
+// strategies. LBU and GBU implement it; TD does not (a top-down update
+// shares no state between objects, so there is nothing to amortize).
+type GroupApplier interface {
+	// LeafOf resolves the leaf currently holding the object through the
+	// secondary hash index.
+	LeafOf(oid rtree.OID) (rtree.PageID, error)
+	// ApplyLeafGroup applies one leaf's group in a single bottom-up
+	// pass — one leaf read, one extension decision for the whole group,
+	// one leaf write, one parent sync — and returns the changes it could
+	// not resolve group-wise. Unresolved changes are not modified.
+	ApplyLeafGroup(leaf rtree.PageID, group []BatchChange) (unresolved []BatchChange, err error)
+	// UpdateAtLeaf applies one change whose object lives in leaf using
+	// the strategy's per-object path, skipping the secondary-index
+	// lookup (the caller already resolved the leaf). With localOnly set
+	// it attempts only outcomes confined to the leaf and its parent
+	// (in-leaf, extension, sibling shift), reporting false with no tree
+	// modification when the update needs an ascent or a top-down pass.
+	UpdateAtLeaf(leaf rtree.PageID, c BatchChange, localOnly bool) (bool, error)
+}
+
+// leafGroup is one group of changes targeting the same leaf.
+type leafGroup struct {
+	leaf    rtree.PageID
+	changes []BatchChange
+}
+
+// bucketHinter is implemented by strategies whose secondary index can
+// name the hash bucket of an object without I/O.
+type bucketHinter interface {
+	HashBucket(oid rtree.OID) int
+}
+
+// OrderForGrouping returns the changes in the order the lookup phase
+// should resolve them: clustered by secondary-index bucket when the
+// strategy can hint it, so lookups landing on the same hash page run
+// back to back and all but the first hit the buffer. The input is not
+// modified; without a hint it is returned as is.
+func OrderForGrouping(u Updater, changes []BatchChange) []BatchChange {
+	bh, ok := u.(bucketHinter)
+	if !ok || len(changes) < 2 {
+		return changes
+	}
+	out := append([]BatchChange(nil), changes...)
+	sort.SliceStable(out, func(i, j int) bool {
+		return bh.HashBucket(out[i].OID) < bh.HashBucket(out[j].OID)
+	})
+	return out
+}
+
+// groupByLeaf partitions changes by their current leaf. Groups come
+// back in reverse encounter order: the lookup phase read the hash and
+// leaf pages of late groups most recently, so applying those first
+// turns the trailing secondary-index writes of shifts and ascents into
+// buffer hits instead of re-reads — measurably cheaper than either
+// encounter or leaf-page order under the paper's 1%-of-database buffer.
+// Changes whose leaf cannot be resolved are returned separately.
+func groupByLeaf(ga GroupApplier, changes []BatchChange) (groups []leafGroup, loose []BatchChange) {
+	at := make(map[rtree.PageID]int)
+	for _, c := range changes {
+		leaf, err := ga.LeafOf(c.OID)
+		if err != nil {
+			loose = append(loose, c)
+			continue
+		}
+		j, ok := at[leaf]
+		if !ok {
+			j = len(groups)
+			at[leaf] = j
+			groups = append(groups, leafGroup{leaf: leaf})
+		}
+		groups[j].changes = append(groups[j].changes, c)
+	}
+	for i, j := 0, len(groups)-1; i < j; i, j = i+1, j-1 {
+		groups[i], groups[j] = groups[j], groups[i]
+	}
+	return groups, loose
+}
+
+// oidSet indexes a change slice by object id.
+func oidSet(changes []BatchChange) map[rtree.OID]bool {
+	if len(changes) == 0 {
+		return nil
+	}
+	set := make(map[rtree.OID]bool, len(changes))
+	for _, c := range changes {
+		set[c.OID] = true
+	}
+	return set
+}
+
+// ApplyBatch applies an already-coalesced batch of changes through u.
+// When the strategy supports group application, changes are grouped by
+// target leaf and each group is applied in one bottom-up pass, falling
+// back to the per-object path only for the changes the group pass
+// declines; otherwise every change runs through the plain Update path.
+//
+// done, when non-nil, is invoked after each change is applied; on error
+// the batch stops, so done has been called exactly for the applied
+// prefix (a batch is not atomic).
+func ApplyBatch(u Updater, changes []BatchChange, done func(BatchChange)) (BatchStats, error) {
+	var st BatchStats
+	applySequential := func(cs []BatchChange) error {
+		for _, c := range cs {
+			if err := u.Update(c.OID, c.Old, c.New); err != nil {
+				return err
+			}
+			st.Changes++
+			st.Sequential++
+			if done != nil {
+				done(c)
+			}
+		}
+		return nil
+	}
+
+	ga, ok := u.(GroupApplier)
+	if !ok {
+		return st, applySequential(changes)
+	}
+
+	groups, loose := groupByLeaf(ga, OrderForGrouping(u, changes))
+	for _, g := range groups {
+		st.Groups++
+		unresolved, err := ga.ApplyLeafGroup(g.leaf, g.changes)
+		if err != nil {
+			return st, err
+		}
+		skip := oidSet(unresolved)
+		for _, c := range g.changes {
+			if skip[c.OID] {
+				continue
+			}
+			st.Changes++
+			st.GroupResolved++
+			if done != nil {
+				done(c)
+			}
+		}
+		for _, c := range unresolved {
+			applied, err := ga.UpdateAtLeaf(g.leaf, c, false)
+			if err != nil {
+				return st, err
+			}
+			if !applied {
+				return st, fmt.Errorf("core: batch update %d: per-object pass declined a full update", c.OID)
+			}
+			st.Changes++
+			st.LocalFallback++
+			if done != nil {
+				done(c)
+			}
+		}
+	}
+	// Changes without a secondary-index entry take the plain path, which
+	// surfaces the same error the sequential API would.
+	return st, applySequential(loose)
+}

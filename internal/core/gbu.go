@@ -1,6 +1,8 @@
 package core
 
 import (
+	"burtree/internal/pagestore"
+	"errors"
 	"fmt"
 	"math"
 
@@ -26,6 +28,7 @@ type gbuStrategy struct {
 var (
 	_ Updater      = (*gbuStrategy)(nil)
 	_ LocalUpdater = (*gbuStrategy)(nil)
+	_ GroupApplier = (*gbuStrategy)(nil)
 )
 
 func (s *gbuStrategy) Name() string { return "GBU" }
@@ -151,10 +154,15 @@ func (s *gbuStrategy) update(oid rtree.OID, old, new geom.Point) error {
 		}
 		return t.Update(oid, oldRect, newRect)
 	}
+	return s.ascend(oid, new, newRect, leaf, li)
+}
 
-	// "ancestor = FindParent(node, newLocation); issue a standard R-tree
-	// insert at the ancestor node." The ancestor chain comes from the
-	// summary table, so the ascent itself costs no disk reads.
+// ascend re-inserts the object below its lowest bounding ancestor:
+// "ancestor = FindParent(node, newLocation); issue a standard R-tree
+// insert at the ancestor node." The ancestor chain comes from the
+// summary table, so the ascent itself costs no disk reads.
+func (s *gbuStrategy) ascend(oid rtree.OID, new geom.Point, newRect geom.Rect, leaf *rtree.Node, li int) error {
+	t := s.tree
 	lambda := effectiveLevelThreshold(s.opts.LevelThreshold, t.Height())
 	fp, err := s.sum.FindParent(leaf.Page, new, lambda)
 	if err != nil {
@@ -207,12 +215,22 @@ func (s *gbuStrategy) attemptLocal(oid rtree.OID, old, new geom.Point, newRect g
 	if li < 0 {
 		return needTopDown, nil, 0, fmt.Errorf("gbu: update %d: hash points to leaf %d but entry is missing", oid, leafPage)
 	}
+	res, err := s.attemptLocalAt(old, new, newRect, leaf, li)
+	return res, leaf, li, err
+}
+
+// attemptLocalAt is the tail of attemptLocal once the leaf holding the
+// object is in hand (entry li of leaf): the in-leaf case and the
+// δ-ordered extension/shift attempts. The batch pipeline enters here
+// directly with the group's leaf, skipping the hash lookup.
+func (s *gbuStrategy) attemptLocalAt(old, new geom.Point, newRect geom.Rect, leaf *rtree.Node, li int) (localOutcome, error) {
+	t := s.tree
 
 	// "if newLocation lies within leafMBR: update in place."
 	if leaf.Self.ContainsPoint(new) {
 		leaf.Entries[li].Rect = newRect
 		s.out.inLeaf.Add(1)
-		return localDone, leaf, li, t.WriteNode(leaf)
+		return localDone, t.WriteNode(leaf)
 	}
 
 	// Distance threshold δ: slow movers extend first, fast movers try a
@@ -223,44 +241,44 @@ func (s *gbuStrategy) attemptLocal(oid rtree.OID, old, new geom.Point, newRect g
 	if slow {
 		done, err := s.tryExtend(leaf, li, new, newRect)
 		if err != nil {
-			return needTopDown, leaf, li, err
+			return needTopDown, err
 		}
 		if done {
-			return localDone, leaf, li, nil
+			return localDone, nil
 		}
 		if wouldUnderflow {
-			return needTopDown, leaf, li, nil
+			return needTopDown, nil
 		}
 		done, err = s.tryShift(leaf, li, new, newRect)
 		if err != nil {
-			return needTopDown, leaf, li, err
+			return needTopDown, err
 		}
 		if done {
-			return localDone, leaf, li, nil
+			return localDone, nil
 		}
-		return needAscend, leaf, li, nil
+		return needAscend, nil
 	}
 
 	if !wouldUnderflow {
 		done, err := s.tryShift(leaf, li, new, newRect)
 		if err != nil {
-			return needTopDown, leaf, li, err
+			return needTopDown, err
 		}
 		if done {
-			return localDone, leaf, li, nil
+			return localDone, nil
 		}
 	}
 	done, err := s.tryExtend(leaf, li, new, newRect)
 	if err != nil {
-		return needTopDown, leaf, li, err
+		return needTopDown, err
 	}
 	if done {
-		return localDone, leaf, li, nil
+		return localDone, nil
 	}
 	if wouldUnderflow {
-		return needTopDown, leaf, li, nil
+		return needTopDown, nil
 	}
-	return needAscend, leaf, li, nil
+	return needAscend, nil
 }
 
 // LocalScope returns the page granules a local update of oid would
@@ -432,3 +450,178 @@ func (s *gbuStrategy) tryShift(leaf *rtree.Node, li int, new geom.Point, newRect
 	s.out.piggyback.Add(int64(len(passengers)))
 	return true, nil
 }
+
+// LeafOf resolves the leaf currently holding the object (GroupApplier).
+func (s *gbuStrategy) LeafOf(oid rtree.OID) (rtree.PageID, error) {
+	return s.hash.Lookup(oid)
+}
+
+// ApplyLeafGroup applies one leaf's share of a batch in a single
+// bottom-up pass. The leaf is read once; every in-leaf move rewrites
+// its entry in place; the remaining slow movers (δ) share one
+// directional extension decision — the candidate MBR grows by at most ε
+// per change toward each new location, clipped by the parent MBR from
+// the summary table, exactly the cumulative shape a sequence of
+// per-object Algorithm 4 extensions would produce — and the leaf and
+// its parent entry are written back once for the whole group. Fast
+// movers, underflow risks and points beyond the achievable extension
+// are returned unresolved, untouched, for the per-object path.
+func (s *gbuStrategy) ApplyLeafGroup(leafPage rtree.PageID, group []BatchChange) ([]BatchChange, error) {
+	t := s.tree
+	if t.Height() <= 1 {
+		return group, nil // no internal structure to exploit
+	}
+	leaf, err := t.ReadNode(leafPage)
+	if err != nil {
+		if errors.Is(err, pagestore.ErrPageFreed) {
+			return group, nil // leaf freed by an earlier change in the batch
+		}
+		return nil, err
+	}
+	if !leaf.IsLeaf() {
+		return group, nil // page recycled as an internal node
+	}
+
+	var unresolved, outside []BatchChange
+	oldSelf := leaf.Self
+	dirty := false
+	for _, c := range group {
+		li := leaf.FindOID(c.OID)
+		if li < 0 {
+			// The object left this leaf between grouping and application
+			// (possible under concurrency); per-object handling re-resolves.
+			unresolved = append(unresolved, c)
+			continue
+		}
+		if leaf.Self.ContainsPoint(c.New) {
+			leaf.Entries[li].Rect = geom.RectFromPoint(c.New)
+			s.out.inLeaf.Add(1)
+			dirty = true
+			continue
+		}
+		outside = append(outside, c)
+	}
+
+	// One extension decision for the group's slow movers. The summary
+	// table provides the parent MBR bound without disk access.
+	if len(outside) > 0 {
+		parentPage, okP := s.sum.ParentOf(leafPage)
+		parentMBR, okM := geom.Rect{}, false
+		if okP {
+			parentMBR, okM = s.sum.MBROf(parentPage)
+		}
+		rest := outside[:0]
+		for _, c := range outside {
+			if !okM || geom.Dist(c.Old, c.New) > s.opts.DistanceThreshold {
+				rest = append(rest, c) // fast movers try a shift first (δ)
+				continue
+			}
+			ext := geom.ExtendToward(leaf.Self, c.New, s.opts.Epsilon, parentMBR)
+			if !ext.ContainsPoint(c.New) {
+				rest = append(rest, c)
+				continue
+			}
+			leaf.Self = ext
+			leaf.Entries[leaf.FindOID(c.OID)].Rect = geom.RectFromPoint(c.New)
+			s.out.extended.Add(1)
+			dirty = true
+		}
+		outside = rest
+	}
+
+	if dirty {
+		if err := t.WriteNode(leaf); err != nil {
+			return nil, err
+		}
+	}
+	if leaf.Self != oldSelf {
+		// Mirror the enlarged leaf MBR in the parent once per group
+		// instead of once per extension.
+		parentPage, ok := s.sum.ParentOf(leafPage)
+		if !ok {
+			return nil, fmt.Errorf("gbu: no parent recorded for leaf %d", leafPage)
+		}
+		parent, err := t.ReadNode(parentPage)
+		if err != nil {
+			return nil, err
+		}
+		pi := parent.FindChild(leafPage)
+		if pi < 0 {
+			return nil, fmt.Errorf("gbu: parent %d missing child %d", parentPage, leafPage)
+		}
+		parent.Entries[pi].Rect = leaf.Self
+		if err := t.WriteNode(parent); err != nil {
+			return nil, err
+		}
+	}
+	return append(unresolved, outside...), nil
+}
+
+// UpdateAtLeaf applies one change whose object lives in leaf, skipping
+// the secondary-index lookup (GroupApplier). Directly after a group
+// pass the leaf is still buffered, so the read costs no disk access.
+func (s *gbuStrategy) UpdateAtLeaf(leafPage rtree.PageID, c BatchChange, localOnly bool) (bool, error) {
+	t := s.tree
+	newRect := geom.RectFromPoint(c.New)
+	topDown := func(oldRect geom.Rect) (bool, error) {
+		s.out.topDown.Add(1)
+		if err := t.Update(c.OID, oldRect, newRect); err != nil {
+			return false, err
+		}
+		return true, s.adapter.Err()
+	}
+	if t.Height() <= 1 {
+		if localOnly {
+			return false, nil
+		}
+		return topDown(geom.RectFromPoint(c.Old))
+	}
+	leaf, err := t.ReadNode(leafPage)
+	if err != nil && !errors.Is(err, pagestore.ErrPageFreed) {
+		return false, err
+	}
+	li := -1
+	if err == nil && leaf.IsLeaf() {
+		li = leaf.FindOID(c.OID)
+	}
+	if li < 0 {
+		if localOnly {
+			return false, nil // moved concurrently; the caller escalates
+		}
+		// The batch's own shifts (piggybacked passengers), splits and
+		// top-down deletes can relocate objects — or free or recycle the
+		// leaf page — between grouping and application; re-resolve
+		// through the always-current hash index.
+		return true, s.Update(c.OID, c.Old, c.New)
+	}
+	if rootMBR, ok := s.sum.RootMBR(); !ok || !rootMBR.ContainsPoint(c.New) {
+		if localOnly {
+			return false, nil
+		}
+		return topDown(leaf.Entries[li].Rect)
+	}
+	res, err := s.attemptLocalAt(c.Old, c.New, newRect, leaf, li)
+	if err != nil {
+		return false, err
+	}
+	switch res {
+	case localDone:
+		return true, s.adapter.Err()
+	case needTopDown:
+		if localOnly {
+			return false, nil
+		}
+		return topDown(leaf.Entries[li].Rect)
+	}
+	if localOnly {
+		return false, nil
+	}
+	if err := s.ascend(c.OID, c.New, newRect, leaf, li); err != nil {
+		return false, err
+	}
+	return true, s.adapter.Err()
+}
+
+// HashBucket names the secondary-index bucket of an object without I/O
+// (batch lookup clustering).
+func (s *gbuStrategy) HashBucket(oid rtree.OID) int { return s.hash.Bucket(oid) }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"burtree/internal/geom"
@@ -29,6 +30,7 @@ type lbuStrategy struct {
 var (
 	_ Updater      = (*lbuStrategy)(nil)
 	_ LocalUpdater = (*lbuStrategy)(nil)
+	_ GroupApplier = (*lbuStrategy)(nil)
 )
 
 func (s *lbuStrategy) Name() string { return "LBU" }
@@ -87,8 +89,14 @@ func (s *lbuStrategy) update(oid rtree.OID, old, new geom.Point) error {
 		return t.Update(oid, oldRect, newRect)
 	}
 
-	// "Delete old index entry for the object from leaf node; write out
-	// leaf node. ... Issue a standard R-tree insert at the root."
+	return s.reinsertFromRoot(oid, newRect, leaf, li)
+}
+
+// reinsertFromRoot is Algorithm 1's non-local ending: "Delete old index
+// entry for the object from leaf node; write out leaf node. ... Issue a
+// standard R-tree insert at the root."
+func (s *lbuStrategy) reinsertFromRoot(oid rtree.OID, newRect geom.Rect, leaf *rtree.Node, li int) error {
+	t := s.tree
 	leaf.RemoveEntry(li)
 	if err := t.WriteNode(leaf); err != nil {
 		return err
@@ -122,12 +130,21 @@ func (s *lbuStrategy) attemptLocal(oid rtree.OID, new geom.Point, newRect geom.R
 	if li < 0 {
 		return needTopDown, nil, 0, fmt.Errorf("lbu: update %d: hash points to leaf %d but entry is missing", oid, leafPage)
 	}
+	res, err := s.attemptLocalAt(oid, new, newRect, leaf, li)
+	return res, leaf, li, err
+}
+
+// attemptLocalAt is the tail of attemptLocal once the leaf holding the
+// object is in hand (entry li of leaf). The batch pipeline enters here
+// directly with the group's leaf, skipping the hash lookup.
+func (s *lbuStrategy) attemptLocalAt(oid rtree.OID, new geom.Point, newRect geom.Rect, leaf *rtree.Node, li int) (localOutcome, error) {
+	t := s.tree
 
 	// "if newLocation lies within the leaf MBR: update in place."
 	if leaf.Self.ContainsPoint(new) {
 		leaf.Entries[li].Rect = newRect
 		s.out.inLeaf.Add(1)
-		return localDone, leaf, li, t.WriteNode(leaf)
+		return localDone, t.WriteNode(leaf)
 	}
 
 	// "Retrieve the parent of the leaf node. Let eMBR be the leaf MBR
@@ -135,16 +152,17 @@ func (s *lbuStrategy) attemptLocal(oid rtree.OID, new geom.Point, newRect geom.R
 	// newLocation is within eMBR: enlarge."
 	var parent *rtree.Node
 	if leaf.Parent != pagestore.InvalidPage {
+		var err error
 		parent, err = t.ReadNode(leaf.Parent)
 		if err != nil {
-			return needTopDown, leaf, li, err
+			return needTopDown, err
 		}
 		eMBR, ok := geom.ExpandWithin(leaf.Self, s.eps, parent.Self)
 		if ok && eMBR.ContainsPoint(new) {
 			leaf.Self = eMBR
 			leaf.Entries[li].Rect = newRect
 			if err := t.WriteNode(leaf); err != nil {
-				return needTopDown, leaf, li, err
+				return needTopDown, err
 			}
 			// Keep the parent's entry mirroring the enlarged leaf MBR so
 			// queries keep finding the extension region. (The paper's
@@ -152,18 +170,18 @@ func (s *lbuStrategy) attemptLocal(oid rtree.OID, new geom.Point, newRect geom.R
 			// required for correctness and is charged here.)
 			pi := parent.FindChild(leaf.Page)
 			if pi < 0 {
-				return needTopDown, leaf, li, fmt.Errorf("lbu: parent %d missing child %d", parent.Page, leaf.Page)
+				return needTopDown, fmt.Errorf("lbu: parent %d missing child %d", parent.Page, leaf.Page)
 			}
 			parent.Entries[pi].Rect = eMBR
 			s.out.extended.Add(1)
-			return localDone, leaf, li, t.WriteNode(parent)
+			return localDone, t.WriteNode(parent)
 		}
 	}
 
 	// "if deletion of the object from the leaf node leads to underflow:
 	// issue a top-down update."
 	if len(leaf.Entries)-1 < t.MinEntries() {
-		return needTopDown, leaf, li, nil
+		return needTopDown, nil
 	}
 
 	// "if newLocation is contained in the MBR of some sibling node which
@@ -178,7 +196,7 @@ func (s *lbuStrategy) attemptLocal(oid rtree.OID, new geom.Point, newRect geom.R
 			}
 			sib, err := t.ReadNode(sibPage)
 			if err != nil {
-				return needTopDown, leaf, li, err
+				return needTopDown, err
 			}
 			if len(sib.Entries) >= t.MaxEntries() {
 				continue // full; keep scanning
@@ -187,20 +205,20 @@ func (s *lbuStrategy) attemptLocal(oid rtree.OID, new geom.Point, newRect geom.R
 			// may transiently see the object twice but never zero times.
 			sib.Entries = append(sib.Entries, rtree.Entry{Rect: newRect, OID: oid})
 			if err := t.WriteNode(sib); err != nil {
-				return needTopDown, leaf, li, err
+				return needTopDown, err
 			}
 			leaf.RemoveEntry(li)
 			if err := t.WriteNode(leaf); err != nil {
-				return needTopDown, leaf, li, err
+				return needTopDown, err
 			}
 			if err := s.hash.Set(oid, sibPage); err != nil {
-				return needTopDown, leaf, li, err
+				return needTopDown, err
 			}
 			s.out.shifted.Add(1)
-			return localDone, leaf, li, nil
+			return localDone, nil
 		}
 	}
-	return needAscend, leaf, li, nil
+	return needAscend, nil
 }
 
 // LocalScope returns the page granules a local LBU update would touch:
@@ -232,3 +250,145 @@ func (s *lbuStrategy) TryLocalUpdate(oid rtree.OID, old, new geom.Point) (bool, 
 	}
 	return true, s.adapter.Err()
 }
+
+// LeafOf resolves the leaf currently holding the object (GroupApplier).
+func (s *lbuStrategy) LeafOf(oid rtree.OID) (rtree.PageID, error) {
+	return s.hash.Lookup(oid)
+}
+
+// ApplyLeafGroup applies one leaf's share of a batch in a single
+// bottom-up pass. The leaf is read once and every in-leaf move rewrites
+// its entry in place. For the rest the parent is read once (through the
+// leaf's parent pointer) and the uniform ε-enlargement is decided once
+// for the whole group — LBU's enlargement does not depend on the
+// movement direction, so a single Kwon-style eMBR covers every change
+// the sequential path could have resolved by extension. The leaf and
+// the parent's mirroring entry are written back once for the group.
+func (s *lbuStrategy) ApplyLeafGroup(leafPage rtree.PageID, group []BatchChange) ([]BatchChange, error) {
+	t := s.tree
+	leaf, err := t.ReadNode(leafPage)
+	if err != nil {
+		if errors.Is(err, pagestore.ErrPageFreed) {
+			return group, nil // leaf freed by an earlier change in the batch
+		}
+		return nil, err
+	}
+	if !leaf.IsLeaf() {
+		return group, nil // page recycled as an internal node
+	}
+
+	var unresolved, outside []BatchChange
+	dirty := false
+	for _, c := range group {
+		li := leaf.FindOID(c.OID)
+		if li < 0 {
+			unresolved = append(unresolved, c) // moved since grouping
+			continue
+		}
+		if leaf.Self.ContainsPoint(c.New) {
+			leaf.Entries[li].Rect = geom.RectFromPoint(c.New)
+			s.out.inLeaf.Add(1)
+			dirty = true
+			continue
+		}
+		outside = append(outside, c)
+	}
+
+	// One uniform enlargement decision for the whole group.
+	var parent *rtree.Node
+	enlarged := false
+	if len(outside) > 0 && leaf.Parent != pagestore.InvalidPage {
+		parent, err = t.ReadNode(leaf.Parent)
+		if err != nil {
+			return nil, err
+		}
+		if eMBR, ok := geom.ExpandWithin(leaf.Self, s.eps, parent.Self); ok {
+			rest := outside[:0]
+			for _, c := range outside {
+				if !eMBR.ContainsPoint(c.New) {
+					rest = append(rest, c)
+					continue
+				}
+				leaf.Entries[leaf.FindOID(c.OID)].Rect = geom.RectFromPoint(c.New)
+				s.out.extended.Add(1)
+				enlarged = true
+				dirty = true
+			}
+			if enlarged {
+				leaf.Self = eMBR
+			}
+			outside = rest
+		}
+	}
+
+	if dirty {
+		if err := t.WriteNode(leaf); err != nil {
+			return nil, err
+		}
+	}
+	if enlarged {
+		pi := parent.FindChild(leaf.Page)
+		if pi < 0 {
+			return nil, fmt.Errorf("lbu: parent %d missing child %d", parent.Page, leaf.Page)
+		}
+		parent.Entries[pi].Rect = leaf.Self
+		if err := t.WriteNode(parent); err != nil {
+			return nil, err
+		}
+	}
+	return append(unresolved, outside...), nil
+}
+
+// UpdateAtLeaf applies one change whose object lives in leaf, skipping
+// the secondary-index lookup (GroupApplier). Directly after a group
+// pass the leaf is still buffered, so the read costs no disk access.
+func (s *lbuStrategy) UpdateAtLeaf(leafPage rtree.PageID, c BatchChange, localOnly bool) (bool, error) {
+	t := s.tree
+	newRect := geom.RectFromPoint(c.New)
+	leaf, err := t.ReadNode(leafPage)
+	if err != nil && !errors.Is(err, pagestore.ErrPageFreed) {
+		return false, err
+	}
+	li := -1
+	if err == nil && leaf.IsLeaf() {
+		li = leaf.FindOID(c.OID)
+	}
+	if li < 0 {
+		if localOnly {
+			return false, nil // moved concurrently; the caller escalates
+		}
+		// The batch's own shifts, splits and top-down deletes can
+		// relocate objects — or free or recycle the leaf page — between
+		// grouping and application; re-resolve through the always-current
+		// hash index.
+		return true, s.Update(c.OID, c.Old, c.New)
+	}
+	res, err := s.attemptLocalAt(c.OID, c.New, newRect, leaf, li)
+	if err != nil {
+		return false, err
+	}
+	switch res {
+	case localDone:
+		return true, s.adapter.Err()
+	case needTopDown:
+		if localOnly {
+			return false, nil
+		}
+		s.out.topDown.Add(1)
+		if err := t.Update(c.OID, leaf.Entries[li].Rect, newRect); err != nil {
+			return false, err
+		}
+		return true, s.adapter.Err()
+	}
+	if localOnly {
+		return false, nil
+	}
+	if err := s.reinsertFromRoot(c.OID, newRect, leaf, li); err != nil {
+		return false, err
+	}
+	return true, s.adapter.Err()
+}
+
+// HashBucket names the secondary-index bucket of an object without I/O
+// (batch lookup clustering).
+func (s *lbuStrategy) HashBucket(oid rtree.OID) int { return s.hash.Bucket(oid) }

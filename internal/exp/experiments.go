@@ -25,6 +25,10 @@ type Scale struct {
 	Threads    int
 	Ops        int
 	IOLatencyU int // simulated page latency in microseconds
+
+	// Batch pins the batch-size sweep of the "batch" experiment to
+	// {1, Batch} instead of the default BatchSizes (burbench -batch).
+	Batch int
 }
 
 // DefaultScale is 1/50 of the paper's workload.
@@ -73,6 +77,7 @@ func Registry() []Experiment {
 		{"fig7a", "Figure 7(a)", "Scalability (dataset size): update", run("fig7a")},
 		{"fig7b", "Figure 7(b)", "Scalability (dataset size): querying", run("fig7b")},
 		{"fig8", "Figure 8", "Throughput for varying update/query mix (50 threads, DGL)", run("fig8")},
+		{"batch", "beyond §5", "Batched bottom-up updates: disk I/O and throughput vs batch size", run("batch")},
 		{"naive", "§3.1", "Naive bottom-up: share of updates that stay top-down", run("naive")},
 		{"table-summary-size", "§3.2", "Summary structure size ratios", run("table-summary-size")},
 		{"cost", "§4", "Cost model: analysis vs measurement", run("cost")},
@@ -166,6 +171,8 @@ func computeBundle(bundle string, s Scale, seed int64) (map[string]*Table, error
 		return bundleScalability(s, seed)
 	case "fig8":
 		return bundleThroughput(s, seed)
+	case "batch":
+		return bundleBatch(s, seed)
 	case "naive":
 		return bundleNaive(s, seed)
 	case "table-summary-size":

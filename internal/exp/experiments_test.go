@@ -13,6 +13,9 @@ func microScale() Scale {
 }
 
 func TestEveryExperimentProducesATable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment registry sweep; skipped with -short")
+	}
 	s := microScale()
 	for _, e := range Registry() {
 		e := e
@@ -86,6 +89,9 @@ func TestFig5aShape(t *testing.T) {
 }
 
 func TestFig8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-threaded throughput sweep with simulated latency; skipped with -short")
+	}
 	s := microScale()
 	s.IOLatencyU = 50
 	s.Ops = 800

@@ -96,6 +96,12 @@ func (x *Index) bucketFor(oid uint64) int {
 	return int(h % uint64(len(x.buckets)))
 }
 
+// Bucket returns the directory slot oid hashes to. The batch pipeline
+// clusters its lookup phase by bucket so that lookups landing on the
+// same hash page run back to back and hit the buffer instead of paying
+// one page read each.
+func (x *Index) Bucket(oid uint64) int { return x.bucketFor(oid) }
+
 // Lookup returns the leaf page currently holding oid.
 func (x *Index) Lookup(oid uint64) (pagestore.PageID, error) {
 	b := x.bucketFor(oid)
