@@ -33,7 +33,9 @@
 //
 // An Index is not safe for concurrent use; see ConcurrentIndex for the
 // DGL-locked multi-threaded variant used in the paper's throughput
-// study.
+// study, which offers the same API — updates, batched updates, window
+// and nearest-neighbour queries, bulk loading and snapshots — under
+// granule locks.
 package burtree
 
 import (
@@ -168,11 +170,24 @@ type Index struct {
 	options Options // as passed to Open, for persistence
 }
 
-// Open creates an empty index.
-func Open(opts Options) (*Index, error) {
+// indexParts is the machinery shared by Index and ConcurrentIndex: the
+// simulated store, its buffer pool, the physical counters and the
+// configured update strategy.
+type indexParts struct {
+	store *pagestore.Store
+	pool  *buffer.Pool
+	io    *stats.IO
+	u     core.Updater
+	opts  Options // normalized copy, retained for persistence
+}
+
+// openParts builds the common machinery from user options, normalizing
+// the zero-value defaults exactly once for both index front-ends.
+func openParts(opts Options) (indexParts, error) {
+	var parts indexParts
 	kind, err := opts.Strategy.kind()
 	if err != nil {
-		return nil, err
+		return parts, err
 	}
 	if opts.PageSize == 0 {
 		opts.PageSize = pagestore.DefaultPageSize
@@ -187,13 +202,13 @@ func Open(opts Options) (*Index, error) {
 	if reinsert < 0 {
 		reinsert = 0
 	}
-	io := &stats.IO{}
-	store := pagestore.New(opts.PageSize, io)
-	pool := buffer.New(store, opts.BufferPages)
 	lvl := opts.LevelThreshold
 	if lvl == 0 {
 		lvl = core.UnrestrictedLevels
 	}
+	io := &stats.IO{}
+	store := pagestore.New(opts.PageSize, io)
+	pool := buffer.New(store, opts.BufferPages)
 	u, err := core.New(pool, core.Options{
 		Strategy:          kind,
 		Epsilon:           opts.Epsilon,
@@ -208,15 +223,24 @@ func Open(opts Options) (*Index, error) {
 		},
 	})
 	if err != nil {
+		return parts, err
+	}
+	return indexParts{store: store, pool: pool, io: io, u: u, opts: opts}, nil
+}
+
+// Open creates an empty index.
+func Open(opts Options) (*Index, error) {
+	parts, err := openParts(opts)
+	if err != nil {
 		return nil, err
 	}
 	return &Index{
-		store:   store,
-		pool:    pool,
-		io:      io,
-		updater: u,
+		store:   parts.store,
+		pool:    parts.pool,
+		io:      parts.io,
+		updater: parts.u,
 		objects: make(map[uint64]Point),
-		options: opts,
+		options: parts.opts,
 	}, nil
 }
 
@@ -231,35 +255,50 @@ const (
 	PackHilbert
 )
 
+// packItems validates a bulk-load input and converts it to tree items
+// plus a fresh object table, so a failed load leaves the caller's state
+// untouched. Shared by both index front-ends.
+func packItems(ids []uint64, pts []Point) ([]rtree.Item, map[uint64]Point, error) {
+	if len(ids) != len(pts) {
+		return nil, nil, fmt.Errorf("burtree: BulkInsert: %d ids for %d points", len(ids), len(pts))
+	}
+	objects := make(map[uint64]Point, len(ids))
+	items := make([]rtree.Item, len(ids))
+	for i := range ids {
+		if _, dup := objects[ids[i]]; dup {
+			return nil, nil, fmt.Errorf("%w: %d", ErrDuplicateObject, ids[i])
+		}
+		items[i] = rtree.Item{OID: ids[i], Rect: geom.RectFromPoint(pts[i])}
+		objects[ids[i]] = pts[i]
+	}
+	return items, objects, nil
+}
+
+// bulkLoad packs items into the strategy's tree with the chosen method.
+func bulkLoad(u core.Updater, items []rtree.Item, method PackMethod) error {
+	switch method {
+	case PackHilbert:
+		return u.Tree().BulkLoadHilbert(items, 0.66)
+	default:
+		return u.Tree().BulkLoad(items, 0.66)
+	}
+}
+
 // BulkInsert loads many objects at once into an empty index using the
 // chosen packing method at ~66% node fill — far faster than repeated
 // Insert calls and the usual way to start the paper's experiments.
 func (x *Index) BulkInsert(ids []uint64, pts []Point, method PackMethod) error {
-	if len(ids) != len(pts) {
-		return fmt.Errorf("burtree: BulkInsert: %d ids for %d points", len(ids), len(pts))
-	}
 	if len(x.objects) != 0 {
 		return fmt.Errorf("burtree: BulkInsert on non-empty index")
 	}
-	items := make([]rtree.Item, len(ids))
-	for i := range ids {
-		if _, dup := x.objects[ids[i]]; dup {
-			return fmt.Errorf("%w: %d", ErrDuplicateObject, ids[i])
-		}
-		items[i] = rtree.Item{OID: ids[i], Rect: geom.RectFromPoint(pts[i])}
-		x.objects[ids[i]] = pts[i]
-	}
-	var err error
-	switch method {
-	case PackHilbert:
-		err = x.updater.Tree().BulkLoadHilbert(items, 0.66)
-	default:
-		err = x.updater.Tree().BulkLoad(items, 0.66)
-	}
+	items, objects, err := packItems(ids, pts)
 	if err != nil {
-		x.objects = make(map[uint64]Point)
 		return err
 	}
+	if err := bulkLoad(x.updater, items, method); err != nil {
+		return err
+	}
+	x.objects = objects
 	return nil
 }
 
@@ -431,15 +470,20 @@ type Neighbor struct {
 
 // Nearest returns the k objects nearest to p in increasing distance.
 func (x *Index) Nearest(p Point, k int) ([]Neighbor, error) {
-	res, err := x.updater.Tree().NearestK(p, k)
+	res, err := x.updater.Nearest(p, k)
 	if err != nil {
 		return nil, err
 	}
+	return neighborsFromTree(res), nil
+}
+
+// neighborsFromTree converts tree-level NN results to the public type.
+func neighborsFromTree(res []rtree.Neighbor) []Neighbor {
 	out := make([]Neighbor, len(res))
 	for i, n := range res {
 		out[i] = Neighbor{ID: n.OID, Location: Point{X: n.Rect.MinX, Y: n.Rect.MinY}, Dist: n.Dist}
 	}
-	return out, nil
+	return out
 }
 
 // Stats reports the physical counters and tree shape.

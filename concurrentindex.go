@@ -9,71 +9,49 @@ import (
 	"burtree/internal/concurrent"
 	"burtree/internal/core"
 	"burtree/internal/pagestore"
-	"burtree/internal/rtree"
 	"burtree/internal/stats"
 )
 
 // ConcurrentIndex is the multi-threaded variant of Index: operations are
 // isolated with Dynamic-Granular-Locking-style granule locks (paper
 // §3.2.2 and §5.4) so bottom-up updates in disjoint regions proceed in
-// parallel while top-down work holds the whole tree. It is safe for
-// concurrent use by any number of goroutines.
+// parallel while top-down work holds the whole tree. It offers the full
+// Index API — updates, batched updates, window and nearest-neighbour
+// queries, bulk loading and snapshots — and is safe for concurrent use
+// by any number of goroutines.
+//
+// Reads run under shared granule locks: a window query locks the grid
+// cells covering its window in S mode, so no update can move an object
+// into or out of the window while the query scans it (phantom
+// protection at granule granularity); a nearest-neighbour query, whose
+// footprint cannot be pre-declared, takes the whole-tree granule in S
+// mode. Queries therefore observe a consistent snapshot of the region
+// they read, and run in parallel with each other and with updates
+// elsewhere in the data space.
 type ConcurrentIndex struct {
 	store *pagestore.Store
+	pool  *buffer.Pool
 	io    *stats.IO
 	db    *concurrent.DB
 
 	mu      sync.RWMutex
 	objects map[uint64]Point
+	options Options // normalized copy, retained for persistence
 }
 
 // OpenConcurrent creates an empty concurrent index.
 func OpenConcurrent(opts Options) (*ConcurrentIndex, error) {
-	kind, err := opts.Strategy.kind()
-	if err != nil {
-		return nil, err
-	}
-	if opts.PageSize == 0 {
-		opts.PageSize = pagestore.DefaultPageSize
-	}
-	if opts.ExpectedObjects == 0 {
-		opts.ExpectedObjects = 1024
-	}
-	reinsert := opts.ReinsertFraction
-	if reinsert == 0 {
-		reinsert = 0.3
-	}
-	if reinsert < 0 {
-		reinsert = 0
-	}
-	lvl := opts.LevelThreshold
-	if lvl == 0 {
-		lvl = core.UnrestrictedLevels
-	}
-	io := &stats.IO{}
-	store := pagestore.New(opts.PageSize, io)
-	pool := buffer.New(store, opts.BufferPages)
-	u, err := core.New(pool, core.Options{
-		Strategy:          kind,
-		Epsilon:           opts.Epsilon,
-		DistanceThreshold: opts.DistanceThreshold,
-		LevelThreshold:    lvl,
-		NoPiggyback:       opts.DisablePiggyback,
-		NoSummaryQueries:  opts.DisableSummaryQueries,
-		ExpectedObjects:   opts.ExpectedObjects,
-		Tree: rtree.Config{
-			ReinsertFraction: reinsert,
-			Split:            opts.SplitAlgorithm,
-		},
-	})
+	parts, err := openParts(opts)
 	if err != nil {
 		return nil, err
 	}
 	return &ConcurrentIndex{
-		store:   store,
-		io:      io,
-		db:      concurrent.New(u, 32),
+		store:   parts.store,
+		pool:    parts.pool,
+		io:      parts.io,
+		db:      concurrent.New(parts.u, 32),
 		objects: make(map[uint64]Point),
+		options: parts.opts,
 	}, nil
 }
 
@@ -81,6 +59,29 @@ func OpenConcurrent(opts Options) (*ConcurrentIndex, error) {
 // throughput figures I/O-bound as on the paper's hardware. Zero disables
 // the simulation.
 func (x *ConcurrentIndex) SetIOLatency(d time.Duration) { x.store.SetLatency(d) }
+
+// BulkInsert loads many objects at once into an empty index using the
+// chosen packing method at ~66% node fill. The whole index is locked
+// exclusively for the duration: bulk loading rebuilds the tree from
+// scratch, so no reader or writer may observe the intermediate state.
+func (x *ConcurrentIndex) BulkInsert(ids []uint64, pts []Point, method PackMethod) error {
+	items, objects, err := packItems(ids, pts)
+	if err != nil {
+		return err
+	}
+	return x.db.Exclusive(func(u core.Updater) error {
+		x.mu.Lock()
+		defer x.mu.Unlock()
+		if len(x.objects) != 0 {
+			return fmt.Errorf("burtree: BulkInsert on non-empty index")
+		}
+		if err := bulkLoad(u, items, method); err != nil {
+			return err
+		}
+		x.objects = objects
+		return nil
+	})
+}
 
 // Insert adds a new object at p.
 func (x *ConcurrentIndex) Insert(id uint64, p Point) error {
@@ -94,17 +95,26 @@ func (x *ConcurrentIndex) Insert(id uint64, p Point) error {
 	x.objects[id] = p
 	x.mu.Unlock()
 	if err := x.db.Insert(id, p); err != nil {
+		// Compare-and-delete: remove the reservation only if the entry
+		// still holds the value this call wrote — a concurrent writer may
+		// have superseded it in the meantime, and its entry must survive.
 		x.mu.Lock()
-		delete(x.objects, id)
+		if cur, ok := x.objects[id]; ok && cur == p {
+			delete(x.objects, id)
+		}
 		x.mu.Unlock()
 		return err
 	}
 	return nil
 }
 
-// Update moves an existing object to p. Updates to the same object are
-// serialized; updates to different objects run in parallel when the
-// strategy can resolve them locally.
+// Update moves an existing object to p. Updates to different objects
+// run in parallel when the strategy can resolve them locally. Updates
+// to the same object are last-writer-wins on the object table only;
+// callers that race same-object updates can see one fail against the
+// other's tree state, so callers that need per-object ordering
+// serialize their own access (disjoint id ranges per writer, or a
+// striped lock, as the examples do).
 func (x *ConcurrentIndex) Update(id uint64, p Point) error {
 	x.mu.Lock()
 	old, ok := x.objects[id]
@@ -115,8 +125,15 @@ func (x *ConcurrentIndex) Update(id uint64, p Point) error {
 	x.objects[id] = p
 	x.mu.Unlock()
 	if err := x.db.Update(id, old, p); err != nil {
+		// Compare-and-restore: put the old position back only if the
+		// entry still holds the value this call wrote. An unconditional
+		// restore could clobber a newer concurrent write that succeeded
+		// between our failure and the rollback, diverging the object
+		// table from the tree.
 		x.mu.Lock()
-		x.objects[id] = old
+		if cur, ok := x.objects[id]; ok && cur == p {
+			x.objects[id] = old
+		}
 		x.mu.Unlock()
 		return err
 	}
@@ -175,18 +192,57 @@ func (x *ConcurrentIndex) Delete(id uint64) error {
 	delete(x.objects, id)
 	x.mu.Unlock()
 	if err := x.db.Delete(id, old); err != nil {
+		// Compare-and-restore: re-add the entry only if the id is still
+		// absent — a concurrent Insert of the same id may have succeeded
+		// after our removal, and its entry must survive.
 		x.mu.Lock()
-		x.objects[id] = old
+		if _, ok := x.objects[id]; !ok {
+			x.objects[id] = old
+		}
 		x.mu.Unlock()
 		return err
 	}
 	return nil
 }
 
+// Search returns the ids of all objects inside the window q, under
+// shared granule locks covering the window (phantom-protected at
+// granule granularity).
+func (x *ConcurrentIndex) Search(q Rect) ([]uint64, error) {
+	var out []uint64
+	err := x.SearchFunc(q, func(id uint64, p Point) bool {
+		out = append(out, id)
+		return true
+	})
+	return out, err
+}
+
+// SearchFunc streams the objects inside q to visit; return false to
+// stop early. The visit callback runs with the query's shared locks
+// held: it must be fast and must not call back into the index, or
+// updates to the locked region stall behind it.
+func (x *ConcurrentIndex) SearchFunc(q Rect, visit func(id uint64, p Point) bool) error {
+	return x.db.Search(q, func(oid uint64, r Rect) bool {
+		return visit(oid, Point{X: r.MinX, Y: r.MinY})
+	})
+}
+
 // Count returns the number of objects inside q under shared granule
 // locks (phantom-protected at granule granularity).
 func (x *ConcurrentIndex) Count(q Rect) (int, error) {
 	return x.db.Query(q)
+}
+
+// Nearest returns the k objects nearest to p in increasing distance.
+// The traversal's footprint cannot be declared up front, so the query
+// holds the whole-tree granule shared: it runs in parallel with other
+// reads but excludes updates for its duration.
+func (x *ConcurrentIndex) Nearest(p Point, k int) ([]Neighbor, error) {
+	res, err := x.db.Nearest(p, k)
+	if err != nil {
+		return nil, err
+	}
+	return neighborsFromTree(res), nil
 }
 
 // Len returns the number of indexed objects.
@@ -211,35 +267,57 @@ func (x *ConcurrentIndex) Location(id uint64) (Point, bool) {
 type ConcurrencyStats = concurrent.Stats
 
 // Stats returns physical counters, tree shape and lock-layer counters.
+// The snapshot is taken under the shared physical latch, so the tree
+// shape values are mutually consistent; the atomic I/O counters may
+// include operations still in their lock-acquisition phase.
 func (x *ConcurrentIndex) Stats() (Stats, ConcurrencyStats) {
-	s := x.io.Snapshot()
-	u := x.db.Updater()
-	return Stats{
-		DiskReads:  s.Reads,
-		DiskWrites: s.Writes,
-		BufferHits: s.BufferHits,
-		Splits:     s.Splits,
-		Reinserts:  s.Reinserts,
-		Height:     u.Tree().Height(),
-		Pages:      x.store.NumPages(),
-		Size:       u.Tree().Size(),
-		Outcomes:   u.Outcomes(),
-	}, x.db.Stats()
+	var st Stats
+	x.db.View(func(u core.Updater) {
+		s := x.io.Snapshot()
+		st = Stats{
+			DiskReads:  s.Reads,
+			DiskWrites: s.Writes,
+			BufferHits: s.BufferHits,
+			Splits:     s.Splits,
+			Reinserts:  s.Reinserts,
+			Height:     u.Tree().Height(),
+			Pages:      x.store.NumPages(),
+			Size:       u.Tree().Size(),
+			Outcomes:   u.Outcomes(),
+		}
+	})
+	return st, x.db.Stats()
 }
 
-// CheckInvariants validates the index; callers must ensure quiescence.
+// ResetStats zeroes the physical counters (tree shape is unaffected).
+// Operations in flight keep counting after the reset point.
+func (x *ConcurrentIndex) ResetStats() { x.io.Reset() }
+
+// Flush writes all buffered dirty pages to the simulated disk, with the
+// index locked exclusively so no update is mid-way through a multi-page
+// change when the pages go out.
+func (x *ConcurrentIndex) Flush() error {
+	return x.db.Exclusive(func(core.Updater) error { return x.pool.Flush() })
+}
+
+// CheckInvariants validates the index. It holds the shared latch for the
+// tree walk, so concurrent readers keep running, but callers must still
+// ensure no updates are in flight: the tree/object-table size comparison
+// is only meaningful at a quiescent point.
 func (x *ConcurrentIndex) CheckInvariants() error {
-	u := x.db.Updater()
-	if err := u.Err(); err != nil {
-		return err
-	}
-	if err := u.Tree().CheckInvariants(); err != nil {
-		return err
-	}
-	x.mu.RLock()
-	defer x.mu.RUnlock()
-	if u.Tree().Size() != len(x.objects) {
-		return fmt.Errorf("burtree: tree size %d != tracked objects %d", u.Tree().Size(), len(x.objects))
-	}
-	return nil
+	var err error
+	x.db.View(func(u core.Updater) {
+		if err = u.Err(); err != nil {
+			return
+		}
+		if err = u.Tree().CheckInvariants(); err != nil {
+			return
+		}
+		x.mu.RLock()
+		defer x.mu.RUnlock()
+		if u.Tree().Size() != len(x.objects) {
+			err = fmt.Errorf("burtree: tree size %d != tracked objects %d", u.Tree().Size(), len(x.objects))
+		}
+	})
+	return err
 }

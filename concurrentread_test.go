@@ -1,0 +1,511 @@
+package burtree
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func openConcurrentTest(t testing.TB, s Strategy) *ConcurrentIndex {
+	t.Helper()
+	x, err := OpenConcurrent(Options{Strategy: s, ExpectedObjects: 4000, BufferPages: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// bulkLoadConcurrent fills a concurrent index with n deterministic
+// uniform points and returns them.
+func bulkLoadConcurrent(t testing.TB, x *ConcurrentIndex, n int, seed int64) []Point {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]uint64, n)
+	pts := make([]Point, n)
+	for i := range ids {
+		ids[i] = uint64(i)
+		pts[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	if err := x.BulkInsert(ids, pts, PackSTR); err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+// TestConcurrentReadWriteStress mixes every operation the index offers
+// from many goroutines; it exists to run under -race. Correctness of
+// the surviving state is checked after quiescence.
+func TestConcurrentReadWriteStress(t *testing.T) {
+	for _, s := range []Strategy{TopDown, GeneralizedBottomUp} {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			const n = 1200
+			x := openConcurrentTest(t, s)
+			bulkLoadConcurrent(t, x, n, 7)
+
+			var wg sync.WaitGroup
+			errCh := make(chan error, 16)
+			fail := func(err error) {
+				select {
+				case errCh <- err:
+				default:
+				}
+			}
+
+			// Updaters: single moves, each worker on a disjoint id range
+			// (the index's contract: per-object ordering is the caller's).
+			for w := 0; w < 3; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(100 + w)))
+					for i := 0; i < 250; i++ {
+						id := uint64(w*300 + rng.Intn(300))
+						p, ok := x.Location(id)
+						if !ok {
+							continue
+						}
+						np := Point{X: p.X + (rng.Float64()-0.5)*0.02, Y: p.Y + (rng.Float64()-0.5)*0.02}
+						if err := x.Update(id, np); err != nil {
+							fail(err)
+							return
+						}
+					}
+				}(w)
+			}
+
+			// Batch updater, on its own id range for the same reason.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(200))
+				for b := 0; b < 20; b++ {
+					changes := make([]Change, 0, 32)
+					for i := 0; i < 32; i++ {
+						id := uint64(900 + rng.Intn(n-900))
+						p, ok := x.Location(id)
+						if !ok {
+							continue
+						}
+						changes = append(changes, Change{ID: id, To: Point{
+							X: p.X + (rng.Float64()-0.5)*0.02, Y: p.Y + (rng.Float64()-0.5)*0.02}})
+					}
+					if _, err := x.UpdateBatch(changes); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}()
+
+			// Window searches + counts.
+			for w := 0; w < 2; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(300 + w)))
+					for i := 0; i < 150; i++ {
+						cx, cy := rng.Float64(), rng.Float64()
+						win := NewRect(cx, cy, cx+0.05, cy+0.05)
+						if i%2 == 0 {
+							if _, err := x.Search(win); err != nil {
+								fail(err)
+								return
+							}
+						} else if _, err := x.Count(win); err != nil {
+							fail(err)
+							return
+						}
+					}
+				}(w)
+			}
+
+			// Nearest-neighbour queries.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(400))
+				for i := 0; i < 80; i++ {
+					res, err := x.Nearest(Point{X: rng.Float64(), Y: rng.Float64()}, 5)
+					if err != nil {
+						fail(err)
+						return
+					}
+					for j := 1; j < len(res); j++ {
+						if res[j].Dist < res[j-1].Dist {
+							fail(errors.New("nearest results out of order"))
+							return
+						}
+					}
+				}
+			}()
+
+			// Insert/delete churn on a dedicated high id range: every
+			// object inserted here is deleted again, so the final size
+			// is the bulk-loaded n.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(500))
+				for i := 0; i < 120; i++ {
+					id := uint64(10_000 + i)
+					p := Point{X: rng.Float64(), Y: rng.Float64()}
+					if err := x.Insert(id, p); err != nil {
+						fail(err)
+						return
+					}
+					if err := x.Update(id, Point{X: rng.Float64(), Y: rng.Float64()}); err != nil {
+						fail(err)
+						return
+					}
+					if err := x.Delete(id); err != nil {
+						fail(err)
+						return
+					}
+				}
+			}()
+
+			// Stats poller (the §5.4 monitoring thread).
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 200; i++ {
+					st, cs := x.Stats()
+					if st.Size < 0 || cs.Updates < 0 {
+						fail(errors.New("implausible stats"))
+						return
+					}
+					x.Len()
+				}
+			}()
+
+			wg.Wait()
+			select {
+			case err := <-errCh:
+				t.Fatal(err)
+			default:
+			}
+			if x.Len() != n {
+				t.Fatalf("Len = %d, want %d", x.Len(), n)
+			}
+			if err := x.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestConcurrentReadEquivalence applies the same update set to a
+// sequential Index (in id order) and a ConcurrentIndex (concurrently,
+// with interleaved queries), then asserts the quiesced read results
+// match: the object positions are identical, so window queries must
+// return identical id sets and NN queries identical distance profiles,
+// whatever structural differences the different application orders
+// produced.
+func TestConcurrentReadEquivalence(t *testing.T) {
+	for _, s := range allFacadeStrategies() {
+		s := s
+		t.Run(s.String(), func(t *testing.T) {
+			t.Parallel()
+			const n = 1500
+			seq := openTest(t, s)
+			conc := openConcurrentTest(t, s)
+
+			rng := rand.New(rand.NewSource(11))
+			ids := make([]uint64, n)
+			pts := make([]Point, n)
+			for i := range ids {
+				ids[i] = uint64(i)
+				pts[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+			}
+			if err := seq.BulkInsert(ids, pts, PackSTR); err != nil {
+				t.Fatal(err)
+			}
+			if err := conc.BulkInsert(ids, pts, PackSTR); err != nil {
+				t.Fatal(err)
+			}
+
+			// One deterministic move per object.
+			newPos := make([]Point, n)
+			for i := range newPos {
+				newPos[i] = Point{X: pts[i].X + (rng.Float64()-0.5)*0.04, Y: pts[i].Y + (rng.Float64()-0.5)*0.04}
+			}
+			for i := 0; i < n; i++ {
+				if err := seq.Update(uint64(i), newPos[i]); err != nil {
+					t.Fatal(err)
+				}
+			}
+
+			const workers = 8
+			var wg sync.WaitGroup
+			errCh := make(chan error, workers)
+			per := (n + workers - 1) / workers
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					r := rand.New(rand.NewSource(int64(w)))
+					hi := (w + 1) * per
+					if hi > n {
+						hi = n
+					}
+					for i := w * per; i < hi; i++ {
+						if err := conc.Update(uint64(i), newPos[i]); err != nil {
+							errCh <- err
+							return
+						}
+						// Interleave reads so updates and queries contend.
+						if i%64 == 0 {
+							cx, cy := r.Float64(), r.Float64()
+							if _, err := conc.Count(NewRect(cx, cy, cx+0.03, cy+0.03)); err != nil {
+								errCh <- err
+								return
+							}
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			select {
+			case err := <-errCh:
+				t.Fatal(err)
+			default:
+			}
+
+			// Quiesced: window queries must agree exactly.
+			for q := 0; q < 30; q++ {
+				cx, cy := rng.Float64(), rng.Float64()
+				win := NewRect(cx, cy, cx+rng.Float64()*0.15, cy+rng.Float64()*0.15)
+				want, err := seq.Search(win)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := conc.Search(win)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+				sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+				if len(got) != len(want) {
+					t.Fatalf("window %v: concurrent %d ids, sequential %d", win, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("window %v: id %d vs %d at position %d", win, got[i], want[i], i)
+					}
+				}
+				cnt, err := conc.Count(win)
+				if err != nil || cnt != len(want) {
+					t.Fatalf("Count(%v) = %d, %v; want %d", win, cnt, err, len(want))
+				}
+			}
+
+			// NN queries must agree on the distance profile.
+			for q := 0; q < 10; q++ {
+				p := Point{X: rng.Float64(), Y: rng.Float64()}
+				want, err := seq.Nearest(p, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := conc.Nearest(p, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("Nearest(%v): %d results, want %d", p, len(got), len(want))
+				}
+				for i := range got {
+					if math.Abs(got[i].Dist-want[i].Dist) > 1e-12 {
+						t.Fatalf("Nearest(%v): dist[%d] = %g vs %g", p, i, got[i].Dist, want[i].Dist)
+					}
+					if got[i].ID != want[i].ID {
+						t.Fatalf("Nearest(%v): id[%d] = %d vs %d", p, i, got[i].ID, want[i].ID)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentSaveLoadRoundTrip snapshots a concurrent index and
+// restores it through both front-ends; the snapshots are
+// interchangeable by design.
+func TestConcurrentSaveLoadRoundTrip(t *testing.T) {
+	x := openConcurrentTest(t, GeneralizedBottomUp)
+	pts := bulkLoadConcurrent(t, x, 800, 3)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 400; i++ {
+		id := uint64(rng.Intn(len(pts)))
+		p, _ := x.Location(id)
+		if err := x.Update(id, Point{X: p.X + (rng.Float64()-0.5)*0.03, Y: p.Y + (rng.Float64()-0.5)*0.03}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := x.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	snapshot := buf.Bytes()
+
+	// Restore as a ConcurrentIndex.
+	y, err := LoadConcurrent(bytes.NewReader(snapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y.Len() != x.Len() {
+		t.Fatalf("loaded Len = %d, want %d", y.Len(), x.Len())
+	}
+	if err := y.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Restore as a sequential Index from the same snapshot.
+	z, err := Load(bytes.NewReader(snapshot))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for q := 0; q < 20; q++ {
+		cx, cy := rng.Float64(), rng.Float64()
+		win := NewRect(cx, cy, cx+0.1, cy+0.1)
+		a, err := x.Search(win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := y.Search(win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := z.Search(win)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+		sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+		sort.Slice(c, func(i, j int) bool { return c[i] < c[j] })
+		if len(a) != len(b) || len(a) != len(c) {
+			t.Fatalf("window %v: %d / %d / %d results", win, len(a), len(b), len(c))
+		}
+		for i := range a {
+			if a[i] != b[i] || a[i] != c[i] {
+				t.Fatalf("window %v: result %d diverges", win, i)
+			}
+		}
+	}
+	na, err := x.Nearest(Point{X: 0.5, Y: 0.5}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := y.Nearest(Point{X: 0.5, Y: 0.5}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(na) != len(nb) {
+		t.Fatalf("Nearest: %d vs %d results", len(na), len(nb))
+	}
+	for i := range na {
+		if na[i].ID != nb[i].ID {
+			t.Fatalf("Nearest result %d: %d vs %d", i, na[i].ID, nb[i].ID)
+		}
+	}
+
+	// The restored concurrent index keeps absorbing concurrent updates.
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(40 + w)))
+			for i := 0; i < 100; i++ {
+				id := uint64(r.Intn(len(pts)))
+				p, ok := y.Location(id)
+				if !ok {
+					continue
+				}
+				if err := y.Update(id, Point{X: p.X + (r.Float64()-0.5)*0.02, Y: p.Y + (r.Float64()-0.5)*0.02}); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if err := y.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And the sequential front-end's snapshot loads concurrently too.
+	buf.Reset()
+	if err := z.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	w2, err := LoadConcurrent(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.Len() != z.Len() {
+		t.Fatalf("cross-load Len = %d, want %d", w2.Len(), z.Len())
+	}
+	if err := w2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentBulkInsertErrors(t *testing.T) {
+	x := openConcurrentTest(t, GeneralizedBottomUp)
+	if err := x.BulkInsert([]uint64{1, 2}, []Point{{X: 0.1, Y: 0.1}}, PackSTR); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if err := x.BulkInsert([]uint64{1, 1}, []Point{{X: 0.1, Y: 0.1}, {X: 0.2, Y: 0.2}}, PackSTR); !errors.Is(err, ErrDuplicateObject) {
+		t.Fatalf("duplicate ids err = %v", err)
+	}
+	if err := x.BulkInsert([]uint64{1, 2}, []Point{{X: 0.1, Y: 0.1}, {X: 0.2, Y: 0.2}}, PackSTR); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.BulkInsert([]uint64{3}, []Point{{X: 0.3, Y: 0.3}}, PackSTR); err == nil {
+		t.Fatal("BulkInsert on non-empty index accepted")
+	}
+	if x.Len() != 2 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+	if err := x.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentFlushAndResetStats(t *testing.T) {
+	x := openConcurrentTest(t, GeneralizedBottomUp)
+	bulkLoadConcurrent(t, x, 500, 5)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		id := uint64(rng.Intn(500))
+		p, _ := x.Location(id)
+		if err := x.Update(id, Point{X: p.X + 0.001, Y: p.Y + 0.001}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := x.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := x.Stats()
+	if st.DiskWrites == 0 {
+		t.Fatalf("no writes recorded before reset: %+v", st)
+	}
+	x.ResetStats()
+	st, _ = x.Stats()
+	if st.DiskReads != 0 || st.DiskWrites != 0 {
+		t.Fatalf("counters not reset: %+v", st)
+	}
+	if st.Size != 500 {
+		t.Fatalf("tree shape lost on reset: %+v", st)
+	}
+}

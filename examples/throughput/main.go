@@ -1,11 +1,16 @@
 // Concurrent monitoring: the paper's §5.4 throughput scenario as a
-// library application. Many goroutines stream position updates and
-// window queries into a ConcurrentIndex, which isolates them with
-// DGL-style granule locks. Bottom-up updates that stay local run in
-// parallel; top-down work locks the whole tree.
+// library application, extended to the mixed read/write sweep of the
+// `mixed` experiment (burbench -experiment mixed). Many goroutines
+// stream position updates, window queries and nearest-neighbour queries
+// into a ConcurrentIndex, which isolates them with DGL-style granule
+// locks: window queries hold the grid cells covering their window
+// shared, k-NN queries hold the tree granule shared, and bottom-up
+// updates that stay local run in parallel.
 //
-// The example reports operations/second for TD and GBU under a simulated
-// per-page I/O latency, reproducing the paper's Figure 8 ordering.
+// The example bulk-loads the index, then for each strategy sweeps the
+// query fraction and reports operations/second and disk I/O per
+// operation under a simulated per-page latency, reproducing the
+// paper's Figure 8 ordering at the read-heavy end of the mix.
 package main
 
 import (
@@ -20,24 +25,28 @@ import (
 )
 
 const (
-	objects    = 20_000
-	workers    = 16
-	opsPerWkr  = 500
-	updateFrac = 0.75
-	ioLatency  = 50 * time.Microsecond
+	objects     = 20_000
+	workers     = 16
+	opsPerWkr   = 400
+	nearestFrac = 0.2 // share of queries answered as 10-NN
+	ioLatency   = 50 * time.Microsecond
 )
 
 func main() {
-	fmt.Printf("%d workers, %.0f%% updates, %v simulated page latency\n",
-		workers, updateFrac*100, ioLatency)
+	fmt.Printf("%d objects, %d workers, %v simulated page latency, %.0f%% of queries 10-NN\n",
+		objects, workers, ioLatency, nearestFrac*100)
+	fmt.Printf("%-22s %10s %12s %10s\n", "strategy", "% queries", "ops/s", "I/O per op")
 	for _, s := range []burtree.Strategy{burtree.TopDown, burtree.GeneralizedBottomUp} {
-		if err := run(s); err != nil {
-			log.Fatal(err)
+		for _, queryFrac := range []float64{0.25, 0.5, 0.75} {
+			if err := run(s, queryFrac); err != nil {
+				log.Fatal(err)
+			}
 		}
 	}
+	fmt.Println("\nfull sweep: go run burtree/cmd/burbench -experiment mixed")
 }
 
-func run(strategy burtree.Strategy) error {
+func run(strategy burtree.Strategy, queryFrac float64) error {
 	idx, err := burtree.OpenConcurrent(burtree.Options{
 		Strategy:        strategy,
 		ExpectedObjects: objects,
@@ -47,12 +56,19 @@ func run(strategy burtree.Strategy) error {
 		return err
 	}
 	rng := rand.New(rand.NewSource(9))
-	for id := uint64(0); id < objects; id++ {
-		if err := idx.Insert(id, burtree.Point{X: rng.Float64(), Y: rng.Float64()}); err != nil {
-			return err
-		}
+	ids := make([]uint64, objects)
+	pts := make([]burtree.Point, objects)
+	for i := range ids {
+		ids[i] = uint64(i)
+		pts[i] = burtree.Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	if err := idx.BulkInsert(ids, pts, burtree.PackSTR); err != nil {
+		return err
 	}
 
+	// Charge only the measured phase: zero the physical counters after
+	// the bulk load, then enable the latency simulation.
+	idx.ResetStats()
 	idx.SetIOLatency(ioLatency)
 	defer idx.SetIOLatency(0)
 
@@ -67,7 +83,8 @@ func run(strategy burtree.Strategy) error {
 			r := rand.New(rand.NewSource(int64(w + 1)))
 			base := uint64(w) * uint64(perWorker) // disjoint object ranges per worker
 			for i := 0; i < opsPerWkr; i++ {
-				if r.Float64() < updateFrac {
+				switch {
+				case r.Float64() >= queryFrac: // update
 					id := base + uint64(r.Intn(perWorker))
 					cur, ok := idx.Location(id)
 					if !ok {
@@ -80,9 +97,15 @@ func run(strategy burtree.Strategy) error {
 						errCh <- err
 						return
 					}
-				} else {
+				case r.Float64() < nearestFrac: // k-NN query
+					p := burtree.Point{X: r.Float64(), Y: r.Float64()}
+					if _, err := idx.Nearest(p, 10); err != nil {
+						errCh <- err
+						return
+					}
+				default: // window query
 					cx, cy := r.Float64(), r.Float64()
-					if _, err := idx.Count(burtree.NewRect(cx, cy, cx+0.02, cy+0.02)); err != nil {
+					if _, err := idx.Search(burtree.NewRect(cx, cy, cx+0.02, cy+0.02)); err != nil {
 						errCh <- err
 						return
 					}
@@ -98,12 +121,15 @@ func run(strategy burtree.Strategy) error {
 	default:
 	}
 	idx.SetIOLatency(0)
+	// Read the counters before the invariant walk below charges a full
+	// tree read to them.
+	st, _ := idx.Stats()
 	if err := idx.CheckInvariants(); err != nil {
 		return err
 	}
-	_, cs := idx.Stats()
-	tps := float64(workers*opsPerWkr) / elapsed.Seconds()
-	fmt.Printf("%-22s %8.0f ops/s | %d local updates, %d escalated, %d queries, %d lock timeouts\n",
-		strategy, tps, cs.Local, cs.Escalated, cs.Queries, cs.Timeouts)
+	ops := workers * opsPerWkr
+	tps := float64(ops) / elapsed.Seconds()
+	ioPerOp := float64(st.DiskReads+st.DiskWrites) / float64(ops)
+	fmt.Printf("%-22s %9.0f%% %12.0f %10.2f\n", strategy, queryFrac*100, tps, ioPerOp)
 	return nil
 }

@@ -269,24 +269,79 @@ func (d *DB) Delete(oid rtree.OID, at geom.Point) error {
 	return d.u.Delete(oid, at)
 }
 
-// Query counts the objects in the window under IS(tree) + S(cells).
-// Phantom protection: any update that could move an object into or out
-// of the window must take X on one of these cells first.
-func (d *DB) Query(q geom.Rect) (int, error) {
+// Search visits the objects in the window under IS(tree) + S(cells) and
+// the shared physical latch, delegating to the strategy's Search (so
+// GBU's memory-assisted query planning stays active). Phantom
+// protection: any update that could move an object into or out of the
+// window must take X on one of these cells first. The visit callback
+// runs with the locks held and must not call back into the DB.
+func (d *DB) Search(q geom.Rect, visit func(rtree.OID, geom.Rect) bool) error {
 	txn := d.lm.Begin()
 	defer d.lm.ReleaseAll(txn)
 	if err := d.lockAll(txn, dgl.IS, dgl.S, d.cellsOfRect(q)); err != nil {
-		return 0, err
+		return err
 	}
 	d.latch.RLock()
 	defer d.latch.RUnlock()
+	err := d.u.Search(q, visit)
+	d.queries.Add(1)
+	return err
+}
+
+// Query counts the objects in the window through Search.
+func (d *DB) Query(q geom.Rect) (int, error) {
 	count := 0
-	err := d.u.Search(q, func(rtree.OID, geom.Rect) bool {
+	err := d.Search(q, func(rtree.OID, geom.Rect) bool {
 		count++
 		return true
 	})
-	d.queries.Add(1)
 	return count, err
+}
+
+// Nearest answers a k-nearest-neighbour query. A best-first NN
+// traversal has no a-priori granule footprint — the search region grows
+// until k results bound it — so the query takes S on the whole-tree
+// granule (every updater holds at least IX there, which conflicts)
+// plus the shared physical latch. Readers still run in parallel with
+// each other; only updates are held off, exactly DGL's escalation rule
+// for operations whose scope cannot be pre-declared.
+func (d *DB) Nearest(p geom.Point, k int) ([]rtree.Neighbor, error) {
+	txn := d.lm.Begin()
+	defer d.lm.ReleaseAll(txn)
+	if err := d.lm.Acquire(txn, TreeGranule, dgl.S, d.timeout); err != nil {
+		return nil, err
+	}
+	d.latch.RLock()
+	defer d.latch.RUnlock()
+	res, err := d.u.Nearest(p, k)
+	d.queries.Add(1)
+	return res, err
+}
+
+// Exclusive runs fn with the whole index locked out: X on the tree
+// granule plus the exclusive physical latch. It is the hook for
+// operations that restructure or snapshot the entire index (bulk
+// loading, persistence, buffer flushes).
+func (d *DB) Exclusive(fn func(core.Updater) error) error {
+	txn := d.lm.Begin()
+	defer d.lm.ReleaseAll(txn)
+	if err := d.lm.Acquire(txn, TreeGranule, dgl.X, d.timeout); err != nil {
+		return err
+	}
+	d.latch.Lock()
+	defer d.latch.Unlock()
+	return fn(d.u)
+}
+
+// View runs fn under the shared physical latch with no granule locks:
+// the snapshot it sees is physically consistent (no update is mid-way
+// through a page write) but not phantom-protected. Stats readers use
+// it; anything that must not observe concurrent movement takes Search
+// or Exclusive instead.
+func (d *DB) View(fn func(core.Updater)) {
+	d.latch.RLock()
+	defer d.latch.RUnlock()
+	fn(d.u)
 }
 
 // lockAll takes the tree intention lock then the cell locks in order.

@@ -157,6 +157,11 @@ type Updater interface {
 	Delete(oid rtree.OID, at geom.Point) error
 	// Search visits all objects intersecting q.
 	Search(q geom.Rect, visit func(rtree.OID, geom.Rect) bool) error
+	// Nearest returns the k objects nearest to p in increasing distance
+	// order. It is part of the interface so locked access layers
+	// (internal/concurrent) route every read — window queries and
+	// nearest-neighbour queries alike — through one strategy surface.
+	Nearest(p geom.Point, k int) ([]rtree.Neighbor, error)
 	// Tree exposes the underlying R-tree (for stats and validation).
 	Tree() *rtree.Tree
 	// Outcomes reports how updates were resolved.

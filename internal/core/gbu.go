@@ -118,6 +118,15 @@ func (s *gbuStrategy) Search(q geom.Rect, visit func(rtree.OID, geom.Rect) bool)
 	return nil
 }
 
+// Nearest answers a k-nearest-neighbour query through the tree's
+// best-first search. The summary structure holds the MBRs of internal
+// nodes but not of the leaf entries that decide the final ranking, so
+// unlike Search there is no memory-assisted variant; the traversal is
+// the plain MinDist descent.
+func (s *gbuStrategy) Nearest(p geom.Point, k int) ([]rtree.Neighbor, error) {
+	return s.tree.NearestK(p, k)
+}
+
 // localOutcome classifies the result of the local phase of Algorithm 2.
 type localOutcome int
 

@@ -53,6 +53,10 @@ func (s *lbuStrategy) Search(q geom.Rect, visit func(rtree.OID, geom.Rect) bool)
 	return s.tree.Search(q, visit)
 }
 
+func (s *lbuStrategy) Nearest(p geom.Point, k int) ([]rtree.Neighbor, error) {
+	return s.tree.NearestK(p, k)
+}
+
 func (s *lbuStrategy) Tree() *rtree.Tree { return s.tree }
 
 func (s *lbuStrategy) Outcomes() Outcomes { return s.out.snapshot() }

@@ -51,6 +51,10 @@ func (s *naiveStrategy) Search(q geom.Rect, visit func(rtree.OID, geom.Rect) boo
 	return s.tree.Search(q, visit)
 }
 
+func (s *naiveStrategy) Nearest(p geom.Point, k int) ([]rtree.Neighbor, error) {
+	return s.tree.NearestK(p, k)
+}
+
 func (s *naiveStrategy) Update(oid rtree.OID, old, new geom.Point) error {
 	t := s.tree
 	newRect := geom.RectFromPoint(new)

@@ -36,6 +36,10 @@ func (s *tdStrategy) Search(q geom.Rect, visit func(rtree.OID, geom.Rect) bool) 
 	return s.tree.Search(q, visit)
 }
 
+func (s *tdStrategy) Nearest(p geom.Point, k int) ([]rtree.Neighbor, error) {
+	return s.tree.NearestK(p, k)
+}
+
 func (s *tdStrategy) Tree() *rtree.Tree { return s.tree }
 
 func (s *tdStrategy) Outcomes() Outcomes {

@@ -116,6 +116,53 @@ func TestFig8Shape(t *testing.T) {
 	}
 }
 
+func TestMixedShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-threaded mixed sweep with simulated latency; skipped with -short")
+	}
+	s := microScale()
+	s.IOLatencyU = 50
+	s.Ops = 800
+	e, ok := Find("mixed")
+	if !ok {
+		t.Fatal("mixed experiment missing")
+	}
+	tab, err := e.Run(s, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"TD", "LBU", "GBU"} {
+		tps, _ := tab.Row(kind + " ops/s")
+		io, _ := tab.Row(kind + " IO/op")
+		if tps == nil || io == nil {
+			t.Fatalf("missing rows for %s", kind)
+		}
+		for i, v := range tps {
+			if v <= 0 {
+				t.Fatalf("%s ops/s[%d] = %g", kind, i, v)
+			}
+		}
+		for i, v := range io {
+			if v < 0 {
+				t.Fatalf("%s IO/op[%d] = %g", kind, i, v)
+			}
+		}
+	}
+	// At 0% queries the sweep is Fig 8's 100%-updates cell: GBU's
+	// bottom-up updates must beat TD's top-down ones.
+	td, _ := tab.Row("TD ops/s")
+	gbu, _ := tab.Row("GBU ops/s")
+	if gbu[0] <= td[0] {
+		t.Fatalf("at 0%% queries GBU %.0f <= TD %.0f tps", gbu[0], td[0])
+	}
+	// Per-op I/O at a pure-update mix: bottom-up pays fewer accesses.
+	tdIO, _ := tab.Row("TD IO/op")
+	gbuIO, _ := tab.Row("GBU IO/op")
+	if gbuIO[0] >= tdIO[0] {
+		t.Fatalf("at 0%% queries GBU %.2f IO/op >= TD %.2f", gbuIO[0], tdIO[0])
+	}
+}
+
 func TestCostTableBound(t *testing.T) {
 	s := microScale()
 	e, _ := Find("cost")

@@ -33,6 +33,13 @@ type ThroughputConfig struct {
 	MaxDist    float64
 	QuerySize  float64 // fixed upper bound for window side (paper: [0, 0.01] for throughput)
 	Seed       int64
+
+	// NearestFrac is the share of query operations answered as k-NN
+	// queries instead of window queries (mixed-workload study; zero
+	// keeps the paper's pure window-query mix of Fig 8).
+	NearestFrac float64
+	// NearestK is the k of those NN queries (default 10).
+	NearestK int
 }
 
 func (c ThroughputConfig) withDefaults() ThroughputConfig {
@@ -60,6 +67,9 @@ func (c ThroughputConfig) withDefaults() ThroughputConfig {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.NearestK == 0 {
+		c.NearestK = 10
+	}
 	return c
 }
 
@@ -68,6 +78,12 @@ type ThroughputResult struct {
 	TPS     float64
 	Elapsed time.Duration
 	DB      concurrent.Stats
+
+	// IO is the physical activity of the measured phase only (the
+	// initial bulk load is excluded), and IOPerOp the paper-style
+	// average disk accesses per operation derived from it.
+	IO      stats.Snapshot
+	IOPerOp float64
 }
 
 // RunThroughput builds the index, then replays a concurrent mixed
@@ -101,6 +117,7 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	positions := append([]geom.Point(nil), gen.Positions()...)
 	var stripes [512]sync.Mutex
 
+	buildSnap := io.Snapshot()
 	store.SetLatency(cfg.IOLatency)
 	defer store.SetLatency(0)
 
@@ -132,6 +149,12 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 					}
 					positions[oid] = np
 					st.Unlock()
+				} else if cfg.NearestFrac > 0 && rng.Float64() < cfg.NearestFrac {
+					p := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+					if _, err := db.Nearest(p, cfg.NearestK); err != nil {
+						errCh <- err
+						return
+					}
 				} else {
 					side := rng.Float64() * cfg.QuerySize
 					x, y := rng.Float64(), rng.Float64()
@@ -151,6 +174,9 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	default:
 	}
 	store.SetLatency(0)
+	// Snapshot the measured phase before the invariant walk below reads
+	// the whole tree through the same counters.
+	runSnap := io.Snapshot()
 	if err := u.Err(); err != nil {
 		return res, fmt.Errorf("exp: throughput sticky error: %w", err)
 	}
@@ -160,6 +186,8 @@ func RunThroughput(cfg ThroughputConfig) (ThroughputResult, error) {
 	total := opsPerWorker * cfg.Threads
 	res.TPS = float64(total) / res.Elapsed.Seconds()
 	res.DB = db.Stats()
+	res.IO = runSnap.Sub(buildSnap)
+	res.IOPerOp = float64(res.IO.Total()) / float64(total)
 	return res, nil
 }
 
@@ -200,6 +228,51 @@ func bundleThroughput(s Scale, seed int64) (map[string]*Table, error) {
 		t.AddRow(kind.String(), row)
 	}
 	return map[string]*Table{"fig8": t}, nil
+}
+
+// bundleMixed extends the Fig 8 study beyond the paper: a query-fraction
+// sweep (0–100% reads, the complement of Fig 8's update axis) in which a
+// fifth of the queries are answered as 10-NN searches through the locked
+// nearest-neighbour path, reporting both throughput and the paper-style
+// average disk I/O per operation for every strategy. It is the repro for
+// the "concurrent read-path parity" scenario: updates and queries share
+// the index under DGL granule locks the whole time.
+func bundleMixed(s Scale, seed int64) (map[string]*Table, error) {
+	qfracs := []float64{0, 0.25, 0.5, 0.75, 1}
+	cols := []string{"0%", "25%", "50%", "75%", "100%"}
+	t := &Table{ID: "mixed", Title: "Mixed workload: throughput and disk I/O per op for varying query fraction",
+		XLabel: "% queries (1/5 of them 10-NN)", YLabel: "ops/s and I/O per op", Columns: cols}
+	for _, kind := range defaultKinds {
+		var tps, ioPerOp []float64
+		for _, qf := range qfracs {
+			// Same window scaling as Fig 8: keep the query/update
+			// service-time ratio in the paper's regime at reduced scale.
+			qs := 0.01 / lengthScale(s)
+			if qs > 0.5 {
+				qs = 0.5
+			}
+			r, err := RunThroughput(ThroughputConfig{
+				Strategy:    kind,
+				NumObjects:  s.Objects,
+				Threads:     s.Threads,
+				Ops:         s.Ops,
+				UpdateFrac:  1 - qf,
+				NearestFrac: 0.2,
+				IOLatency:   time.Duration(s.IOLatencyU) * time.Microsecond,
+				MaxDist:     0.03 * lengthScale(s),
+				QuerySize:   qs,
+				Seed:        seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%v qfrac=%g: %w", kind, qf, err)
+			}
+			tps = append(tps, r.TPS)
+			ioPerOp = append(ioPerOp, r.IOPerOp)
+		}
+		t.AddRow(kind.String()+" ops/s", tps)
+		t.AddRow(kind.String()+" IO/op", ioPerOp)
+	}
+	return map[string]*Table{"mixed": t}, nil
 }
 
 // measureSummaryRatios builds a GBU index and reports:

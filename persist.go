@@ -8,6 +8,7 @@ import (
 	"os"
 
 	"burtree/internal/buffer"
+	"burtree/internal/concurrent"
 	"burtree/internal/core"
 	"burtree/internal/pagestore"
 	"burtree/internal/rtree"
@@ -17,7 +18,8 @@ import (
 // savedIndex is the on-disk form of an Index: the full simulated page
 // store plus the metadata needed to re-attach the strategy. The summary
 // structure is main-memory only (as in the paper) and is rebuilt on
-// load.
+// load. The format is shared by Index and ConcurrentIndex, so a
+// snapshot taken from either can be restored as either.
 type savedIndex struct {
 	Format int // format version
 
@@ -48,20 +50,19 @@ type savedIndex struct {
 
 const saveFormat = 1
 
-// Save serializes the complete index — pages, structural metadata and
-// the object table — to w. The buffer pool is flushed first, so the
-// snapshot is self-consistent.
-func (x *Index) Save(w io.Writer) error {
-	if err := x.pool.Flush(); err != nil {
+// saveSnapshot flushes the pool and encodes the complete index state to
+// w. Shared by both index front-ends; the ConcurrentIndex caller holds
+// the exclusive latch so the snapshot is quiescent.
+func saveSnapshot(w io.Writer, store *pagestore.Store, pool *buffer.Pool, u core.Updater, objects map[uint64]Point, opts Options) error {
+	if err := pool.Flush(); err != nil {
 		return fmt.Errorf("burtree: save: %w", err)
 	}
-	st, err := core.SaveState(x.updater)
+	st, err := core.SaveState(u)
 	if err != nil {
 		return fmt.Errorf("burtree: save: %w", err)
 	}
-	pageSize, pages, freed := x.store.Dump()
+	pageSize, pages, freed := store.Dump()
 
-	opts := x.options
 	s := savedIndex{
 		Format:                saveFormat,
 		Strategy:              opts.Strategy,
@@ -80,7 +81,7 @@ func (x *Index) Save(w io.Writer) error {
 		Height:                st.Height,
 		Size:                  st.Size,
 		HashSize:              st.HashSize,
-		Objects:               x.objects,
+		Objects:               objects,
 	}
 	for _, f := range freed {
 		s.Freed = append(s.Freed, uint64(f))
@@ -93,6 +94,13 @@ func (x *Index) Save(w io.Writer) error {
 		return fmt.Errorf("burtree: save: %w", err)
 	}
 	return bw.Flush()
+}
+
+// Save serializes the complete index — pages, structural metadata and
+// the object table — to w. The buffer pool is flushed first, so the
+// snapshot is self-consistent.
+func (x *Index) Save(w io.Writer) error {
+	return saveSnapshot(w, x.store, x.pool, x.updater, x.objects, x.options)
 }
 
 // SaveFile writes the index snapshot to a file.
@@ -108,21 +116,47 @@ func (x *Index) SaveFile(path string) error {
 	return f.Close()
 }
 
-// Load reconstructs an index from a Save snapshot. The restored index
-// behaves identically to the original: same pages, same strategy, same
-// object table; the main-memory summary structure is rebuilt by one
-// tree walk.
-func Load(r io.Reader) (*Index, error) {
+// Save serializes the complete index to w. The whole index is locked
+// exclusively for the duration — the buffer flush and page dump must
+// not interleave with updates — so the snapshot is a quiescent point:
+// every operation that completed before Save returned is in it, none
+// that started after.
+func (x *ConcurrentIndex) Save(w io.Writer) error {
+	return x.db.Exclusive(func(u core.Updater) error {
+		x.mu.RLock()
+		defer x.mu.RUnlock()
+		return saveSnapshot(w, x.store, x.pool, u, x.objects, x.options)
+	})
+}
+
+// SaveFile writes the index snapshot to a file under the exclusive
+// lock, like Save.
+func (x *ConcurrentIndex) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := x.Save(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// loadSnapshot decodes a snapshot and rebuilds the shared machinery:
+// page store, buffer pool, re-attached strategy and object table.
+func loadSnapshot(r io.Reader) (indexParts, map[uint64]Point, error) {
+	var parts indexParts
 	var s savedIndex
 	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&s); err != nil {
-		return nil, fmt.Errorf("burtree: load: %w", err)
+		return parts, nil, fmt.Errorf("burtree: load: %w", err)
 	}
 	if s.Format != saveFormat {
-		return nil, fmt.Errorf("burtree: load: unsupported format %d", s.Format)
+		return parts, nil, fmt.Errorf("burtree: load: unsupported format %d", s.Format)
 	}
 	kind, err := s.Strategy.kind()
 	if err != nil {
-		return nil, fmt.Errorf("burtree: load: %w", err)
+		return parts, nil, fmt.Errorf("burtree: load: %w", err)
 	}
 	io := &stats.IO{}
 	freed := make([]pagestore.PageID, len(s.Freed))
@@ -131,7 +165,7 @@ func Load(r io.Reader) (*Index, error) {
 	}
 	store, err := pagestore.NewFromDump(s.PageSize, s.Pages, freed, io)
 	if err != nil {
-		return nil, fmt.Errorf("burtree: load: %w", err)
+		return parts, nil, fmt.Errorf("burtree: load: %w", err)
 	}
 	pool := buffer.New(store, s.BufferPages)
 
@@ -174,19 +208,18 @@ func Load(r io.Reader) (*Index, error) {
 		HashSize:      s.HashSize,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("burtree: load: %w", err)
+		return parts, nil, fmt.Errorf("burtree: load: %w", err)
 	}
 	objects := s.Objects
 	if objects == nil {
 		objects = make(map[uint64]Point)
 	}
-	return &Index{
-		store:   store,
-		pool:    pool,
-		io:      io,
-		updater: u,
-		objects: objects,
-		options: Options{
+	parts = indexParts{
+		store: store,
+		pool:  pool,
+		io:    io,
+		u:     u,
+		opts: Options{
 			Strategy:              s.Strategy,
 			PageSize:              s.PageSize,
 			BufferPages:           s.BufferPages,
@@ -199,6 +232,26 @@ func Load(r io.Reader) (*Index, error) {
 			DisablePiggyback:      s.DisablePiggyback,
 			DisableSummaryQueries: s.DisableSummaryQueries,
 		},
+	}
+	return parts, objects, nil
+}
+
+// Load reconstructs an index from a Save snapshot. The restored index
+// behaves identically to the original: same pages, same strategy, same
+// object table; the main-memory summary structure is rebuilt by one
+// tree walk.
+func Load(r io.Reader) (*Index, error) {
+	parts, objects, err := loadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{
+		store:   parts.store,
+		pool:    parts.pool,
+		io:      parts.io,
+		updater: parts.u,
+		objects: objects,
+		options: parts.opts,
 	}, nil
 }
 
@@ -210,4 +263,34 @@ func LoadFile(path string) (*Index, error) {
 	}
 	defer f.Close()
 	return Load(f)
+}
+
+// LoadConcurrent reconstructs a ConcurrentIndex from a Save snapshot.
+// Snapshots are interchangeable between the two front-ends: a snapshot
+// written by an Index can be restored as a ConcurrentIndex and vice
+// versa.
+func LoadConcurrent(r io.Reader) (*ConcurrentIndex, error) {
+	parts, objects, err := loadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return &ConcurrentIndex{
+		store:   parts.store,
+		pool:    parts.pool,
+		io:      parts.io,
+		db:      concurrent.New(parts.u, 32),
+		objects: objects,
+		options: parts.opts,
+	}, nil
+}
+
+// LoadConcurrentFile reads a snapshot from a file into a
+// ConcurrentIndex.
+func LoadConcurrentFile(path string) (*ConcurrentIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadConcurrent(f)
 }
