@@ -1,4 +1,4 @@
-package burtree
+package burtree_test
 
 // Benchmark harness: one benchmark per table/figure of the paper's
 // evaluation (see DESIGN.md for the experiment index), plus per-
@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"burtree"
 	"burtree/internal/core"
 	"burtree/internal/exp"
 	"burtree/internal/rtree"
@@ -68,22 +69,22 @@ func BenchmarkCostModel(b *testing.B)               { benchExperiment(b, "cost")
 // --- Per-operation micro-benchmarks -----------------------------------
 
 // benchIndex builds a populated index outside the timer.
-func benchIndex(b *testing.B, s Strategy, n int) (*Index, *rand.Rand) {
+func benchIndex(b *testing.B, s burtree.Strategy, n int) (*burtree.Index, *rand.Rand) {
 	b.Helper()
-	x, err := Open(Options{Strategy: s, ExpectedObjects: n, BufferPages: 256})
+	x, err := burtree.Open(burtree.Options{Strategy: s, ExpectedObjects: n, BufferPages: 256})
 	if err != nil {
 		b.Fatal(err)
 	}
 	rng := rand.New(rand.NewSource(1))
 	for i := 0; i < n; i++ {
-		if err := x.Insert(uint64(i), Point{X: rng.Float64(), Y: rng.Float64()}); err != nil {
+		if err := x.Insert(uint64(i), burtree.Point{X: rng.Float64(), Y: rng.Float64()}); err != nil {
 			b.Fatal(err)
 		}
 	}
 	return x, rng
 }
 
-func benchUpdates(b *testing.B, s Strategy, maxDist float64) {
+func benchUpdates(b *testing.B, s burtree.Strategy, maxDist float64) {
 	const n = 20_000
 	x, rng := benchIndex(b, s, n)
 	x.ResetStats() // charge only the measured updates to io/op
@@ -92,7 +93,7 @@ func benchUpdates(b *testing.B, s Strategy, maxDist float64) {
 	for i := 0; i < b.N; i++ {
 		id := uint64(rng.Intn(n))
 		p, _ := x.Location(id)
-		np := Point{X: p.X + (rng.Float64()*2-1)*maxDist, Y: p.Y + (rng.Float64()*2-1)*maxDist}
+		np := burtree.Point{X: p.X + (rng.Float64()*2-1)*maxDist, Y: p.Y + (rng.Float64()*2-1)*maxDist}
 		if err := x.Update(id, np); err != nil {
 			b.Fatal(err)
 		}
@@ -102,17 +103,17 @@ func benchUpdates(b *testing.B, s Strategy, maxDist float64) {
 	b.ReportMetric(float64(st.DiskReads+st.DiskWrites)/float64(b.N), "io/op")
 }
 
-func BenchmarkUpdateTD(b *testing.B)  { benchUpdates(b, TopDown, 0.03) }
-func BenchmarkUpdateLBU(b *testing.B) { benchUpdates(b, LocalizedBottomUp, 0.03) }
-func BenchmarkUpdateGBU(b *testing.B) { benchUpdates(b, GeneralizedBottomUp, 0.03) }
+func BenchmarkUpdateTD(b *testing.B)  { benchUpdates(b, burtree.TopDown, 0.03) }
+func BenchmarkUpdateLBU(b *testing.B) { benchUpdates(b, burtree.LocalizedBottomUp, 0.03) }
+func BenchmarkUpdateGBU(b *testing.B) { benchUpdates(b, burtree.GeneralizedBottomUp, 0.03) }
 
 // benchUpdateBatch drives the batched pipeline with windows of the
 // given size; io/op counts disk accesses per moved object.
-func benchUpdateBatch(b *testing.B, s Strategy, batch int) {
+func benchUpdateBatch(b *testing.B, s burtree.Strategy, batch int) {
 	const n = 20_000
 	x, rng := benchIndex(b, s, n)
 	x.ResetStats()
-	changes := make([]Change, batch)
+	changes := make([]burtree.Change, batch)
 	b.ReportAllocs()
 	b.ResetTimer()
 	moves := 0
@@ -120,7 +121,7 @@ func benchUpdateBatch(b *testing.B, s Strategy, batch int) {
 		for j := range changes {
 			id := uint64(rng.Intn(n))
 			p, _ := x.Location(id)
-			changes[j] = Change{ID: id, To: Point{
+			changes[j] = burtree.Change{ID: id, To: burtree.Point{
 				X: p.X + (rng.Float64()*2-1)*0.03,
 				Y: p.Y + (rng.Float64()*2-1)*0.03,
 			}}
@@ -135,11 +136,11 @@ func benchUpdateBatch(b *testing.B, s Strategy, batch int) {
 	b.ReportMetric(float64(st.DiskReads+st.DiskWrites)/float64(moves), "io/op")
 }
 
-func BenchmarkUpdateBatchGBU32(b *testing.B)  { benchUpdateBatch(b, GeneralizedBottomUp, 32) }
-func BenchmarkUpdateBatchGBU512(b *testing.B) { benchUpdateBatch(b, GeneralizedBottomUp, 512) }
-func BenchmarkUpdateBatchLBU512(b *testing.B) { benchUpdateBatch(b, LocalizedBottomUp, 512) }
+func BenchmarkUpdateBatchGBU32(b *testing.B)  { benchUpdateBatch(b, burtree.GeneralizedBottomUp, 32) }
+func BenchmarkUpdateBatchGBU512(b *testing.B) { benchUpdateBatch(b, burtree.GeneralizedBottomUp, 512) }
+func BenchmarkUpdateBatchLBU512(b *testing.B) { benchUpdateBatch(b, burtree.LocalizedBottomUp, 512) }
 
-func benchQueries(b *testing.B, s Strategy) {
+func benchQueries(b *testing.B, s burtree.Strategy) {
 	const n = 20_000
 	x, rng := benchIndex(b, s, n)
 	b.ReportAllocs()
@@ -148,7 +149,7 @@ func benchQueries(b *testing.B, s Strategy) {
 	for i := 0; i < b.N; i++ {
 		cx, cy := rng.Float64(), rng.Float64()
 		side := rng.Float64() * 0.1
-		got, err := x.Count(NewRect(cx, cy, cx+side, cy+side))
+		got, err := x.Count(burtree.NewRect(cx, cy, cx+side, cy+side))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -160,11 +161,11 @@ func benchQueries(b *testing.B, s Strategy) {
 	}
 }
 
-func BenchmarkQueryTD(b *testing.B)  { benchQueries(b, TopDown) }
-func BenchmarkQueryGBU(b *testing.B) { benchQueries(b, GeneralizedBottomUp) }
+func BenchmarkQueryTD(b *testing.B)  { benchQueries(b, burtree.TopDown) }
+func BenchmarkQueryGBU(b *testing.B) { benchQueries(b, burtree.GeneralizedBottomUp) }
 
 func BenchmarkInsert(b *testing.B) {
-	x, err := Open(Options{Strategy: GeneralizedBottomUp, ExpectedObjects: 1 << 20, BufferPages: 256})
+	x, err := burtree.Open(burtree.Options{Strategy: burtree.GeneralizedBottomUp, ExpectedObjects: 1 << 20, BufferPages: 256})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -172,7 +173,7 @@ func BenchmarkInsert(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := x.Insert(uint64(i), Point{X: rng.Float64(), Y: rng.Float64()}); err != nil {
+		if err := x.Insert(uint64(i), burtree.Point{X: rng.Float64(), Y: rng.Float64()}); err != nil {
 			b.Fatal(err)
 		}
 	}

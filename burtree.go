@@ -359,6 +359,10 @@ type BatchResult struct {
 	// a batch when the strategy has no group support at all (TopDown
 	// runs batches sequentially, so there Fallback equals Applied).
 	Fallback int
+	// CrossShard is the number of changes that moved an object between
+	// shards (ShardedIndex only: each is a delete in the source shard
+	// plus an insert in the destination).
+	CrossShard int
 }
 
 // coalesceChanges validates every id against lookup, then coalesces

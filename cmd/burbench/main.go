@@ -9,6 +9,7 @@
 //	burbench -experiment all -scale 0.5
 //	burbench -experiment fig8 -paper        # full 1M-object workloads
 //	burbench -experiment fig6e -csv -o out.csv
+//	burbench -experiment shard -json BENCH_shard.json
 //
 // The default scale is 1/50 of the paper's workloads (20k objects, 20k
 // updates) so the complete suite finishes in minutes; -scale multiplies
@@ -16,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +27,32 @@ import (
 	"burtree/internal/exp"
 )
 
+// jsonReport is the machine-readable output of a burbench run
+// (-json <path>): run metadata plus every produced table, so perf
+// trajectories can be tracked file-to-file across commits.
+type jsonReport struct {
+	Tool        string        `json:"tool"`
+	Seed        int64         `json:"seed"`
+	Scale       exp.Scale     `json:"scale"`
+	Experiments []*jsonResult `json:"experiments"`
+}
+
+type jsonResult struct {
+	ID      string    `json:"id"`
+	Figure  string    `json:"figure"`
+	Title   string    `json:"title"`
+	XLabel  string    `json:"xlabel"`
+	YLabel  string    `json:"ylabel"`
+	Columns []string  `json:"columns"`
+	Rows    []jsonRow `json:"rows"`
+	Elapsed float64   `json:"elapsed_seconds"`
+}
+
+type jsonRow struct {
+	Label  string    `json:"label"`
+	Values []float64 `json:"values"`
+}
+
 func main() {
 	var (
 		experiment = flag.String("experiment", "", "experiment id (see -list), comma-separated list, or 'all'")
@@ -33,6 +61,7 @@ func main() {
 		paper      = flag.Bool("paper", false, "use the paper's full workload sizes (1M objects; slow)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		csv        = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		jsonOut    = flag.String("json", "", "also write machine-readable results to this file")
 		out        = flag.String("o", "", "write output to a file instead of stdout")
 		threads    = flag.Int("threads", 0, "override thread count for the throughput study (default 50)")
 		batch      = flag.Int("batch", 0, "pin the batch experiment's sweep to {1, N} instead of the default sizes")
@@ -91,6 +120,7 @@ func main() {
 		w = f
 	}
 
+	report := jsonReport{Tool: "burbench", Seed: *seed, Scale: s}
 	for _, id := range ids {
 		id = strings.TrimSpace(id)
 		e, ok := exp.Find(id)
@@ -104,12 +134,32 @@ func main() {
 		if err != nil {
 			fatal(fmt.Errorf("%s: %w", id, err))
 		}
-		fmt.Fprintf(os.Stderr, "  done in %v\n", time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Fprintf(os.Stderr, "  done in %v\n", elapsed.Round(time.Millisecond))
 		if *csv {
 			fmt.Fprintf(w, "# %s — %s\n%s\n", tab.ID, tab.Title, tab.CSV())
 		} else {
 			fmt.Fprintf(w, "%s\n", tab.Render())
 		}
+		jr := &jsonResult{
+			ID: tab.ID, Figure: e.Figure, Title: tab.Title,
+			XLabel: tab.XLabel, YLabel: tab.YLabel, Columns: tab.Columns,
+			Elapsed: elapsed.Seconds(),
+		}
+		for _, r := range tab.Rows {
+			jr.Rows = append(jr.Rows, jsonRow{Label: r.Label, Values: r.Values})
+		}
+		report.Experiments = append(report.Experiments, jr)
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
 	}
 }
 

@@ -96,28 +96,23 @@ func (d *DB) Stats() Stats {
 
 // cellOf maps a point to its grid granule id (1-based; 0 is the tree).
 func (d *DB) cellOf(p geom.Point) dgl.GranuleID {
-	x := clampCell(p.X, d.gridN)
-	y := clampCell(p.Y, d.gridN)
+	x := geom.ClampCell(p.X, d.gridN)
+	y := geom.ClampCell(p.Y, d.gridN)
 	return dgl.GranuleID(1 + y*d.gridN + x)
 }
 
-func clampCell(v float64, n int) int {
-	c := int(v * float64(n))
-	if c < 0 {
-		return 0
-	}
-	if c >= n {
-		return n - 1
-	}
-	return c
-}
-
-// cellsOfRect lists the granules covering r, sorted ascending.
+// cellsOfRect lists the granules covering r, sorted ascending. An
+// inverted (or NaN) rectangle covers nothing: the query that carries it
+// matches no objects, needs no cell locks, and must not compute a
+// negative covering-range size.
 func (d *DB) cellsOfRect(r geom.Rect) []dgl.GranuleID {
-	x0 := clampCell(r.MinX, d.gridN)
-	x1 := clampCell(r.MaxX, d.gridN)
-	y0 := clampCell(r.MinY, d.gridN)
-	y1 := clampCell(r.MaxY, d.gridN)
+	if !r.Valid() {
+		return nil
+	}
+	x0 := geom.ClampCell(r.MinX, d.gridN)
+	x1 := geom.ClampCell(r.MaxX, d.gridN)
+	y0 := geom.ClampCell(r.MinY, d.gridN)
+	y1 := geom.ClampCell(r.MaxY, d.gridN)
 	out := make([]dgl.GranuleID, 0, (x1-x0+1)*(y1-y0+1))
 	for y := y0; y <= y1; y++ {
 		for x := x0; x <= x1; x++ {

@@ -1,0 +1,237 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"burtree"
+	"burtree/internal/core"
+	"burtree/internal/geom"
+)
+
+// The shard experiment measures how update throughput scales with the
+// number of index shards under a mixed workload: batched updates plus
+// window and nearest-neighbour queries issued concurrently from a pool
+// of goroutines. It is the repro for the ShardedIndex scatter-gather
+// design: with one shard every NN query's whole-tree lock and every
+// escalated update stalls the entire index, while with N shards they
+// stall 1/N of it, and each shard's buffer pool, hash index and lock
+// manager are private — so throughput should rise near-linearly until
+// the partition outruns the workload's parallelism.
+
+// shardCounts is the row sweep of the shard experiment.
+var shardCounts = []int{1, 2, 4, 8}
+
+// shardWorkerCounts is the column sweep (concurrent client goroutines).
+var shardWorkerCounts = []int{4, 16, 64}
+
+// ShardSweepConfig drives one cell of the shard experiment.
+type ShardSweepConfig struct {
+	Shards      int
+	Workers     int
+	NumObjects  int
+	Updates     int // total update operations to issue across all workers
+	BatchSize   int // updates per UpdateBatch call
+	UpdateFrac  float64
+	NearestFrac float64 // share of queries answered as 10-NN
+	IOLatency   time.Duration
+	MaxDist     float64
+	QuerySize   float64
+	BufferPages int // total across shards (divided internally)
+	Seed        int64
+}
+
+// ShardSweepResult is one cell's outcome.
+type ShardSweepResult struct {
+	UpdatesPerSec float64
+	OpsPerSec     float64
+	Elapsed       time.Duration
+	Updates       int
+	Queries       int
+	CrossShard    int
+}
+
+// RunShardSweep builds a sharded GBU index (grid partition), bulk-loads
+// the uniform workload, then replays the mixed stream from the worker
+// pool and reports update throughput.
+func RunShardSweep(cfg ShardSweepConfig) (ShardSweepResult, error) {
+	var res ShardSweepResult
+	// The sweep measures update throughput; worker progress is counted
+	// in applied updates, so a query-only mix would never terminate.
+	if cfg.UpdateFrac <= 0 {
+		return res, fmt.Errorf("exp: shard sweep needs UpdateFrac > 0, got %g", cfg.UpdateFrac)
+	}
+	// Workers own disjoint id ranges (per-object ordering is externally
+	// serialized, as the API requires of concurrent writers); more
+	// workers than objects would alias the ranges and race.
+	if cfg.Workers > cfg.NumObjects {
+		cfg.Workers = cfg.NumObjects
+	}
+	idx, err := burtree.OpenSharded(burtree.Options{
+		Strategy:        burtree.GeneralizedBottomUp,
+		ExpectedObjects: cfg.NumObjects,
+		BufferPages:     cfg.BufferPages,
+	}, burtree.ShardOptions{Shards: cfg.Shards, Partition: burtree.ShardGrid})
+	if err != nil {
+		return res, err
+	}
+	gen := rand.New(rand.NewSource(cfg.Seed))
+	ids := make([]uint64, cfg.NumObjects)
+	positions := make([]geom.Point, cfg.NumObjects)
+	pts := make([]burtree.Point, cfg.NumObjects)
+	for i := range ids {
+		ids[i] = uint64(i)
+		positions[i] = geom.Point{X: gen.Float64(), Y: gen.Float64()}
+		pts[i] = burtree.Point(positions[i])
+	}
+	if err := idx.BulkInsert(ids, pts, burtree.PackSTR); err != nil {
+		return res, err
+	}
+	idx.SetIOLatency(cfg.IOLatency)
+	defer idx.SetIOLatency(0)
+
+	updatesPerWorker := cfg.Updates / cfg.Workers
+	if updatesPerWorker < cfg.BatchSize {
+		updatesPerWorker = cfg.BatchSize
+	}
+	var updates, queries, cross int64
+	var cMu sync.Mutex
+	errCh := make(chan error, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919 + int64(cfg.Shards)*104729))
+			// Each worker owns a disjoint id range: per-object ordering is
+			// externally serialized, exactly as the API documents for
+			// concurrent writers (and as a real per-producer feed behaves).
+			lo := w * (cfg.NumObjects / cfg.Workers)
+			span := cfg.NumObjects / cfg.Workers
+			done := 0
+			for done < updatesPerWorker {
+				if rng.Float64() < cfg.UpdateFrac {
+					batch := make([]burtree.Change, 0, cfg.BatchSize)
+					for j := 0; j < cfg.BatchSize; j++ {
+						oid := lo + rng.Intn(span)
+						old := positions[oid]
+						d := rng.Float64() * cfg.MaxDist
+						ang := rng.Float64() * 2 * math.Pi
+						np := geom.Point{X: old.X + d*math.Cos(ang), Y: old.Y + d*math.Sin(ang)}
+						positions[oid] = np
+						batch = append(batch, burtree.Change{ID: uint64(oid), To: burtree.Point(np)})
+					}
+					br, err := idx.UpdateBatch(batch)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					done += br.Applied
+					cMu.Lock()
+					updates += int64(br.Applied)
+					cross += int64(br.CrossShard)
+					cMu.Unlock()
+				} else if rng.Float64() < cfg.NearestFrac {
+					p := burtree.Point{X: rng.Float64(), Y: rng.Float64()}
+					if _, err := idx.Nearest(p, 10); err != nil {
+						errCh <- err
+						return
+					}
+					cMu.Lock()
+					queries++
+					cMu.Unlock()
+				} else {
+					side := rng.Float64() * cfg.QuerySize
+					x, y := rng.Float64(), rng.Float64()
+					if _, err := idx.Count(burtree.NewRect(x, y, x+side, y+side)); err != nil {
+						errCh <- err
+						return
+					}
+					cMu.Lock()
+					queries++
+					cMu.Unlock()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	select {
+	case err := <-errCh:
+		return res, err
+	default:
+	}
+	idx.SetIOLatency(0)
+	if err := idx.CheckInvariants(); err != nil {
+		return res, fmt.Errorf("exp: shard sweep invariants: %w", err)
+	}
+	res.Updates = int(updates)
+	res.Queries = int(queries)
+	res.CrossShard = int(cross)
+	res.UpdatesPerSec = float64(updates) / res.Elapsed.Seconds()
+	res.OpsPerSec = float64(updates+queries) / res.Elapsed.Seconds()
+	return res, nil
+}
+
+// bundleShard runs the shard-count × goroutine-count sweep on the mixed
+// workload (GBU): one row of update throughput per shard count, plus
+// the 8-vs-1-shard speedup per worker column.
+func bundleShard(s Scale, seed int64) (map[string]*Table, error) {
+	cols := make([]string, len(shardWorkerCounts))
+	for i, w := range shardWorkerCounts {
+		cols[i] = fmt.Sprintf("g=%d", w)
+	}
+	t := &Table{
+		ID:      "shard",
+		Title:   "Sharded scatter-gather: update throughput (updates/s) vs shard count x goroutines",
+		XLabel:  "client goroutines",
+		YLabel:  "updates/s (mixed workload: 50% batched updates, 40% window, 10% 10-NN)",
+		Columns: cols,
+	}
+	qs := 0.01 / lengthScale(s)
+	if qs > 0.5 {
+		qs = 0.5
+	}
+	buffer := int(0.01 * float64(estimateDBPages(Config{Strategy: core.GBU, NumObjects: s.Objects}.WithDefaults())))
+	rows := make(map[int][]float64, len(shardCounts))
+	for _, sc := range shardCounts {
+		var row []float64
+		for _, workers := range shardWorkerCounts {
+			r, err := RunShardSweep(ShardSweepConfig{
+				Shards:      sc,
+				Workers:     workers,
+				NumObjects:  s.Objects,
+				Updates:     s.Ops * 2,
+				BatchSize:   16,
+				UpdateFrac:  0.5,
+				NearestFrac: 0.2,
+				IOLatency:   time.Duration(s.IOLatencyU) * time.Microsecond,
+				MaxDist:     0.03 * lengthScale(s),
+				QuerySize:   qs,
+				BufferPages: buffer,
+				Seed:        seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("shards=%d workers=%d: %w", sc, workers, err)
+			}
+			row = append(row, r.UpdatesPerSec)
+		}
+		rows[sc] = row
+		t.AddRow(fmt.Sprintf("S=%d", sc), row)
+	}
+	first, last := shardCounts[0], shardCounts[len(shardCounts)-1]
+	if a, b := rows[first], rows[last]; len(a) == len(b) {
+		speedup := make([]float64, len(a))
+		for i := range a {
+			if a[i] > 0 {
+				speedup[i] = b[i] / a[i]
+			}
+		}
+		t.AddRow(fmt.Sprintf("S=%d/S=%d speedup", last, first), speedup)
+	}
+	return map[string]*Table{"shard": t}, nil
+}

@@ -1,0 +1,39 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// A tiny sweep cell must complete, apply the requested updates, and
+// produce cross-shard traffic when there is more than one shard.
+func TestRunShardSweepSmoke(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		r, err := RunShardSweep(ShardSweepConfig{
+			Shards:      shards,
+			Workers:     4,
+			NumObjects:  2000,
+			Updates:     600,
+			BatchSize:   8,
+			UpdateFrac:  0.5,
+			NearestFrac: 0.2,
+			IOLatency:   20 * time.Microsecond,
+			MaxDist:     0.1,
+			QuerySize:   0.05,
+			BufferPages: 16,
+			Seed:        1,
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if r.Updates < 600 {
+			t.Fatalf("shards=%d: only %d updates applied", shards, r.Updates)
+		}
+		if r.UpdatesPerSec <= 0 || r.Elapsed <= 0 {
+			t.Fatalf("shards=%d: degenerate result %+v", shards, r)
+		}
+		if shards > 1 && r.CrossShard == 0 {
+			t.Fatalf("shards=%d: no cross-shard moves despite long jumps", shards)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzGeomIntersect cross-checks the rectangle algebra: for any two
+// rectangles built from fuzzed corners, the predicates and constructors
+// must agree with each other (Intersects ⇔ Intersection ⇔ OverlapArea,
+// containment implies intersection, unions contain their arguments,
+// intersections are contained in theirs, MinDistPoint is zero exactly
+// on containment).
+func FuzzGeomIntersect(f *testing.F) {
+	f.Add(0.0, 0.0, 1.0, 1.0, 0.5, 0.5, 2.0, 2.0)
+	f.Add(0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0, 1.0) // degenerate point rect
+	f.Add(0.1, 0.2, 0.4, 0.3, 0.4, 0.3, 0.9, 0.9) // touching corners
+	f.Add(-1.0, -1.0, -0.5, -0.5, 0.5, 0.5, 1.0, 1.0)
+	f.Add(0.25, 0.25, 0.75, 0.75, 0.4, 0.4, 0.6, 0.6) // nested
+	f.Fuzz(func(t *testing.T, x1, y1, x2, y2, x3, y3, x4, y4 float64) {
+		for _, v := range []float64{x1, y1, x2, y2, x3, y3, x4, y4} {
+			// Non-finite and near-overflow coordinates have no defined
+			// rectangle algebra (midpoints and areas overflow); the tree
+			// never produces them.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e150 {
+				t.Skip()
+			}
+		}
+		r := NewRect(x1, y1, x2, y2)
+		s := NewRect(x3, y3, x4, y4)
+		if !r.Valid() || !s.Valid() {
+			t.Fatalf("NewRect produced invalid rect: %v %v", r, s)
+		}
+
+		if r.Intersects(s) != s.Intersects(r) {
+			t.Fatalf("Intersects not symmetric: %v vs %v", r, s)
+		}
+		inter, ok := r.Intersection(s)
+		if ok != r.Intersects(s) {
+			t.Fatalf("Intersection ok=%v disagrees with Intersects=%v for %v %v", ok, r.Intersects(s), r, s)
+		}
+		if ok {
+			if !inter.Valid() {
+				t.Fatalf("invalid intersection %v of %v %v", inter, r, s)
+			}
+			if !r.ContainsRect(inter) || !s.ContainsRect(inter) {
+				t.Fatalf("intersection %v not contained in both %v %v", inter, r, s)
+			}
+			if got, want := r.OverlapArea(s), inter.Area(); got != want {
+				t.Fatalf("OverlapArea %g != Intersection area %g for %v %v", got, want, r, s)
+			}
+			c := inter.Center()
+			if !r.ContainsPoint(c) || !s.ContainsPoint(c) {
+				t.Fatalf("intersection center %v outside %v or %v", c, r, s)
+			}
+		} else {
+			if r.OverlapArea(s) != 0 {
+				t.Fatalf("disjoint rects %v %v have overlap area %g", r, s, r.OverlapArea(s))
+			}
+		}
+		if r.ContainsRect(s) && !r.Intersects(s) {
+			t.Fatalf("%v contains %v but does not intersect it", r, s)
+		}
+
+		u := r.Union(s)
+		if !u.ContainsRect(r) || !u.ContainsRect(s) {
+			t.Fatalf("union %v does not contain %v and %v", u, r, s)
+		}
+		if u.Area() < r.Area() || u.Area() < s.Area() {
+			t.Fatalf("union area %g below argument areas %g %g", u.Area(), r.Area(), s.Area())
+		}
+
+		p := Point{X: x3, Y: y3}
+		d := r.MinDistPoint(p)
+		if r.ContainsPoint(p) != (d == 0) {
+			t.Fatalf("MinDistPoint(%v, %v) = %g disagrees with containment %v", r, p, d, r.ContainsPoint(p))
+		}
+		if up := r.UnionPoint(p); !up.ContainsPoint(p) || !up.ContainsRect(r) {
+			t.Fatalf("UnionPoint %v misses %v or %v", up, p, r)
+		}
+
+		clipped := r.ClipTo(s)
+		if !clipped.Valid() || !s.ContainsRect(clipped) {
+			t.Fatalf("ClipTo(%v, %v) = %v escapes the bound", r, s, clipped)
+		}
+	})
+}

@@ -224,3 +224,27 @@ func UnionAll(rects []Rect) Rect {
 // library generates; used as the clip bound when no parent constraint
 // applies.
 var WorldRect = Rect{-math.MaxFloat64 / 4, -math.MaxFloat64 / 4, math.MaxFloat64 / 4, math.MaxFloat64 / 4}
+
+// ClampCell quantizes a coordinate in the unit interval onto an n-cell
+// grid, clamping everything outside [0, 1) onto the boundary cells.
+// Used by every grid-routing layer (DGL granules, shard partitioning),
+// which must clamp identically for "the cell of a point inside a
+// window is among the cells covering that window" to hold.
+//
+// The clamping happens BEFORE the int conversion: converting a huge
+// float (beyond ~9.2e18) to int yields minInt64, which would route
+// far-out coordinates to cell 0 and make covering ranges empty or of
+// negative size. NaN (for which v > 0 is false) routes to cell 0.
+func ClampCell(v float64, n int) int {
+	if !(v > 0) {
+		return 0
+	}
+	if v >= 1 {
+		return n - 1
+	}
+	c := int(v * float64(n))
+	if c >= n { // v just below 1 can still round up
+		return n - 1
+	}
+	return c
+}

@@ -1,0 +1,37 @@
+package hilbert
+
+import "testing"
+
+// The curve must visit every cell exactly once (it is a bijection) and
+// consecutive distances must belong to 4-adjacent cells.
+func TestCurveBijectionAndAdjacency(t *testing.T) {
+	const order = 4
+	const side = 1 << order
+	pos := make(map[uint64][2]int, side*side)
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			d := D(uint32(x), uint32(y), order)
+			if d >= side*side {
+				t.Fatalf("D(%d,%d) = %d beyond curve length %d", x, y, d, side*side)
+			}
+			if prev, dup := pos[d]; dup {
+				t.Fatalf("distance %d hit twice: %v and (%d,%d)", d, prev, x, y)
+			}
+			pos[d] = [2]int{x, y}
+		}
+	}
+	for d := uint64(1); d < side*side; d++ {
+		a, b := pos[d-1], pos[d]
+		manhattan := abs(a[0]-b[0]) + abs(a[1]-b[1])
+		if manhattan != 1 {
+			t.Fatalf("cells at distances %d and %d are not adjacent: %v %v", d-1, d, a, b)
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

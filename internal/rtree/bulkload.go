@@ -109,32 +109,66 @@ func (t *Tree) packLevel(entries []Entry, level, cap int) ([]*Node, error) {
 			nodes = append(nodes, node)
 		}
 	}
-	// Guard against a trailing underfull node: borrow from the previous
-	// node, which by construction has cap >= 2*minEntries... not always —
-	// rebalance explicitly.
-	if len(nodes) >= 2 {
-		last := nodes[len(nodes)-1]
-		prev := nodes[len(nodes)-2]
-		if len(last.Entries) < t.minEntries {
-			need := t.minEntries - len(last.Entries)
-			if len(prev.Entries)-need >= t.minEntries {
-				moved := prev.Entries[len(prev.Entries)-need:]
-				prev.Entries = prev.Entries[:len(prev.Entries)-need]
-				last.Entries = append(last.Entries, moved...)
-				prev.Self = prev.EntriesMBR()
-				last.Self = last.EntriesMBR()
-				if err := t.WriteNode(prev); err != nil {
-					return nil, err
-				}
-				if err := t.WriteNode(last); err != nil {
-					return nil, err
-				}
-				if level == 0 {
-					for _, en := range moved {
-						t.notifyPlaced(en.OID, last.Page)
-					}
-				}
+	return t.fixTrailingUnderfull(nodes, level, false)
+}
+
+// fixTrailingUnderfull repairs the last node of a packed level when it
+// holds fewer than minEntries (only the globally last node can be
+// underfull: every other slice and chunk is packed exactly full). The
+// runt is merged into its predecessor when the union fits in one node;
+// otherwise the two are rebalanced evenly — the union then exceeds
+// maxEntries ≥ 2·minEntries, so both halves satisfy the minimum.
+// prepend keeps curve order for sequentially packed levels (Hilbert):
+// entries borrowed from the predecessor go in front of the runt's own.
+func (t *Tree) fixTrailingUnderfull(nodes []*Node, level int, prepend bool) ([]*Node, error) {
+	if len(nodes) < 2 {
+		return nodes, nil
+	}
+	last := nodes[len(nodes)-1]
+	prev := nodes[len(nodes)-2]
+	if len(last.Entries) >= t.minEntries {
+		return nodes, nil
+	}
+	total := len(prev.Entries) + len(last.Entries)
+	if total <= t.maxEntries {
+		moved := last.Entries
+		prev.Entries = append(prev.Entries, moved...)
+		prev.Self = prev.EntriesMBR()
+		if err := t.WriteNode(prev); err != nil {
+			return nil, err
+		}
+		if level == 0 {
+			for _, en := range moved {
+				t.notifyPlaced(en.OID, prev.Page)
 			}
+		}
+		if err := t.freeNode(last); err != nil {
+			return nil, err
+		}
+		return nodes[:len(nodes)-1], nil
+	}
+	if total/2 < t.minEntries {
+		return nodes, nil // unreachable while maxEntries >= 2*minEntries
+	}
+	need := total/2 - len(last.Entries)
+	moved := prev.Entries[len(prev.Entries)-need:]
+	prev.Entries = prev.Entries[:len(prev.Entries)-need]
+	if prepend {
+		last.Entries = append(append([]Entry(nil), moved...), last.Entries...)
+	} else {
+		last.Entries = append(last.Entries, moved...)
+	}
+	prev.Self = prev.EntriesMBR()
+	last.Self = last.EntriesMBR()
+	if err := t.WriteNode(prev); err != nil {
+		return nil, err
+	}
+	if err := t.WriteNode(last); err != nil {
+		return nil, err
+	}
+	if level == 0 {
+		for _, en := range moved {
+			t.notifyPlaced(en.OID, last.Page)
 		}
 	}
 	return nodes, nil

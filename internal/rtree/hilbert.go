@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"burtree/internal/geom"
+	"burtree/internal/hilbert"
 	"burtree/internal/pagestore"
 )
 
@@ -19,28 +20,9 @@ import (
 const hilbertBits = 16
 
 // hilbertValue converts (x, y) cell coordinates to the distance along
-// the Hilbert curve (the classic rotate-and-walk formulation).
+// the Hilbert curve (internal/hilbert holds the shared walk).
 func hilbertValue(x, y uint32) uint64 {
-	var d uint64
-	for s := uint32(1) << (hilbertBits - 1); s > 0; s /= 2 {
-		var rx, ry uint32
-		if x&s > 0 {
-			rx = 1
-		}
-		if y&s > 0 {
-			ry = 1
-		}
-		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
-		// Rotate the quadrant.
-		if ry == 0 {
-			if rx == 1 {
-				x = s - 1 - x
-				y = s - 1 - y
-			}
-			x, y = y, x
-		}
-	}
-	return d
+	return hilbert.D(x, y, hilbertBits)
 }
 
 // hilbertOf maps a point within bounds to its curve position.
@@ -157,30 +139,5 @@ func (t *Tree) packSequential(entries []Entry, level, cap int) ([]*Node, error) 
 		}
 		nodes = append(nodes, node)
 	}
-	if len(nodes) >= 2 {
-		last := nodes[len(nodes)-1]
-		prev := nodes[len(nodes)-2]
-		if len(last.Entries) < t.minEntries {
-			need := t.minEntries - len(last.Entries)
-			if len(prev.Entries)-need >= t.minEntries {
-				moved := prev.Entries[len(prev.Entries)-need:]
-				prev.Entries = prev.Entries[:len(prev.Entries)-need]
-				last.Entries = append(append([]Entry(nil), moved...), last.Entries...)
-				prev.Self = prev.EntriesMBR()
-				last.Self = last.EntriesMBR()
-				if err := t.WriteNode(prev); err != nil {
-					return nil, err
-				}
-				if err := t.WriteNode(last); err != nil {
-					return nil, err
-				}
-				if level == 0 {
-					for _, e := range moved {
-						t.notifyPlaced(e.OID, last.Page)
-					}
-				}
-			}
-		}
-	}
-	return nodes, nil
+	return t.fixTrailingUnderfull(nodes, level, true)
 }

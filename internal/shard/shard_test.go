@@ -1,0 +1,194 @@
+package shard
+
+import (
+	"math/rand"
+	"testing"
+
+	"burtree/internal/geom"
+)
+
+func routersForTest(t *testing.T, n int, sample []geom.Point) map[string]*Router {
+	t.Helper()
+	grid, err := NewGrid(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hu, err := NewHilbertUniform(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := NewHilbertBalanced(n, sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*Router{"grid": grid, "hilbert-uniform": hu, "hilbert-balanced": hb}
+}
+
+func samplePoints(n int, seed int64, skewed bool) []geom.Point {
+	rng := rand.New(rand.NewSource(seed))
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		x, y := rng.Float64(), rng.Float64()
+		if skewed {
+			x, y = x*x*x, y*y*y
+		}
+		pts[i] = geom.Point{X: x, Y: y}
+	}
+	return pts
+}
+
+// Every point must route to exactly one shard, and that shard must be
+// among ShardsFor of any window containing the point (the scatter-read
+// correctness invariant).
+func TestRouterCoverage(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 4, 7, 8, 16} {
+		for name, r := range routersForTest(t, n, samplePoints(500, 7, true)) {
+			if r.NumShards() != n {
+				t.Fatalf("%s: NumShards = %d, want %d", name, r.NumShards(), n)
+			}
+			rng := rand.New(rand.NewSource(int64(n)))
+			for i := 0; i < 2000; i++ {
+				// Include positions outside the unit square: objects drift.
+				p := geom.Point{X: rng.Float64()*1.6 - 0.3, Y: rng.Float64()*1.6 - 0.3}
+				s := r.ShardOf(p)
+				if s < 0 || s >= n {
+					t.Fatalf("%s n=%d: ShardOf(%v) = %d out of range", name, n, p, s)
+				}
+				w := rng.Float64() * 0.2
+				q := geom.Rect{MinX: p.X - w, MinY: p.Y - w, MaxX: p.X + w, MaxY: p.Y + w}
+				if !containsInt(r.ShardsFor(q), s) {
+					t.Fatalf("%s n=%d: shard %d of point %v not in ShardsFor(%v) = %v",
+						name, n, s, p, q, r.ShardsFor(q))
+				}
+				// Region must bound the owning shard's responsibility: the
+				// point's distance to the region must be zero (it is inside).
+				if d := r.Region(s).MinDistPoint(p); d > 0 {
+					t.Fatalf("%s n=%d: point %v outside owning region %v (dist %g)",
+						name, n, p, r.Region(s), d)
+				}
+			}
+		}
+	}
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Extreme coordinates — far beyond the float→int conversion range —
+// must still route and scatter consistently: no panic, no empty
+// covering set for a window that contains an owned point.
+func TestRouterExtremeCoordinates(t *testing.T) {
+	pts := []geom.Point{
+		{X: 1e20, Y: 0.5},
+		{X: -1e20, Y: -1e20},
+		{X: 1e300, Y: 1e300},
+		{X: 0.95, Y: 0.5},
+	}
+	for _, n := range []int{2, 4, 8} {
+		for name, r := range routersForTest(t, n, samplePoints(200, 1, false)) {
+			for _, p := range pts {
+				s := r.ShardOf(p)
+				if s < 0 || s >= n {
+					t.Fatalf("%s n=%d: ShardOf(%v) = %d", name, n, p, s)
+				}
+				q := geom.Rect{MinX: p.X - 0.5, MinY: p.Y - 0.5, MaxX: p.X + 1e20, MaxY: p.Y + 1e20}
+				if !containsInt(r.ShardsFor(q), s) {
+					t.Fatalf("%s n=%d: shard %d of %v not in ShardsFor(%v)", name, n, s, p, q)
+				}
+			}
+			// The classic overflow repro: a window reaching past the int64
+			// conversion range must not panic or come back empty.
+			got := r.ShardsFor(geom.Rect{MinX: 0.8, MinY: 0, MaxX: 1e20, MaxY: 1})
+			if len(got) == 0 {
+				t.Fatalf("%s n=%d: huge window scatters to no shards", name, n)
+			}
+		}
+	}
+}
+
+// A whole-space window must scatter to every shard.
+func TestShardsForWholeSpace(t *testing.T) {
+	for name, r := range routersForTest(t, 8, samplePoints(300, 3, false)) {
+		got := r.ShardsFor(geom.Rect{MinX: -1, MinY: -1, MaxX: 2, MaxY: 2})
+		if len(got) != 8 {
+			t.Fatalf("%s: whole-space query hits %d of 8 shards: %v", name, len(got), got)
+		}
+	}
+}
+
+// The balanced Hilbert split must distribute a skewed sample far more
+// evenly than the grid does.
+func TestHilbertBalancedSkew(t *testing.T) {
+	const n = 8
+	pts := samplePoints(8000, 11, true)
+	r, err := NewHilbertBalanced(n, pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	for _, p := range pts {
+		counts[r.ShardOf(p)]++
+	}
+	want := len(pts) / n
+	for s, c := range counts {
+		if c < want/4 || c > want*4 {
+			t.Fatalf("balanced hilbert: shard %d holds %d of %d (want ≈%d): %v", s, c, len(pts), want, counts)
+		}
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for name, r := range routersForTest(t, 6, samplePoints(1000, 5, true)) {
+		r2, err := FromSpec(r.Spec())
+		if err != nil {
+			t.Fatalf("%s: FromSpec: %v", name, err)
+		}
+		rng := rand.New(rand.NewSource(9))
+		for i := 0; i < 500; i++ {
+			p := geom.Point{X: rng.Float64()*1.4 - 0.2, Y: rng.Float64()*1.4 - 0.2}
+			if r.ShardOf(p) != r2.ShardOf(p) {
+				t.Fatalf("%s: ShardOf(%v) differs after round trip: %d vs %d",
+					name, p, r.ShardOf(p), r2.ShardOf(p))
+			}
+		}
+	}
+}
+
+func TestFromSpecRejectsCorrupt(t *testing.T) {
+	cases := []Spec{
+		{Scheme: Grid, Shards: 0},
+		{Scheme: Grid, Shards: MaxShards + 1},
+		{Scheme: Grid, Shards: 4, GridX: 3, GridY: 2},
+		{Scheme: Grid, Shards: 4, GridX: 0, GridY: 0},
+		{Scheme: HilbertRange, Shards: 4, Bounds: []uint64{1, 2}},    // wrong arity
+		{Scheme: HilbertRange, Shards: 3, Bounds: []uint64{5, 5}},    // not increasing
+		{Scheme: HilbertRange, Shards: 3, Bounds: []uint64{0, 7}},    // zero boundary
+		{Scheme: HilbertRange, Shards: 2, Bounds: []uint64{1 << 62}}, // beyond curve
+		{Scheme: Scheme(99), Shards: 2},
+	}
+	for i, c := range cases {
+		if _, err := FromSpec(c); err == nil {
+			t.Fatalf("case %d (%+v): expected error", i, c)
+		}
+	}
+}
+
+func TestGridFactorization(t *testing.T) {
+	for _, tc := range []struct{ n, gx, gy int }{
+		{1, 1, 1}, {2, 2, 1}, {4, 2, 2}, {6, 3, 2}, {7, 7, 1}, {8, 4, 2}, {9, 3, 3}, {12, 4, 3},
+	} {
+		r, err := NewGrid(tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.gx != tc.gx || r.gy != tc.gy {
+			t.Fatalf("NewGrid(%d): %dx%d, want %dx%d", tc.n, r.gx, r.gy, tc.gx, tc.gy)
+		}
+	}
+}

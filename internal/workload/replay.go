@@ -1,0 +1,345 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"burtree/internal/geom"
+)
+
+// This file is the trace-replay equivalence harness: a recorded mixed
+// trace — inserts, updates, deletes, window queries and k-NN queries —
+// is replayed against any index front-end through the Frontend
+// interface, producing a Profile of everything observable (final object
+// table, window-query id sets, NN distance profiles). Two front-ends
+// are equivalent on a trace iff their profiles Diff clean. The burtree
+// test suites replay one trace against Index, ConcurrentIndex and
+// ShardedIndex and require all three profiles to be identical.
+
+// TraceOpKind tags one operation of a mixed trace.
+type TraceOpKind uint8
+
+const (
+	// TraceInsert adds object ID at P.
+	TraceInsert TraceOpKind = iota
+	// TraceUpdate moves object ID to P.
+	TraceUpdate
+	// TraceDelete removes object ID.
+	TraceDelete
+	// TraceWindow runs a window query Q; the result id set is recorded.
+	TraceWindow
+	// TraceNearest runs a K-nearest query at P; the distance profile is
+	// recorded.
+	TraceNearest
+)
+
+func (k TraceOpKind) String() string {
+	switch k {
+	case TraceInsert:
+		return "insert"
+	case TraceUpdate:
+		return "update"
+	case TraceDelete:
+		return "delete"
+	case TraceWindow:
+		return "window"
+	case TraceNearest:
+		return "nearest"
+	default:
+		return fmt.Sprintf("TraceOpKind(%d)", int(k))
+	}
+}
+
+// TraceOp is one recorded operation.
+type TraceOp struct {
+	Kind TraceOpKind
+	ID   uint64     // Insert, Update, Delete
+	P    geom.Point // Insert, Update, Nearest
+	Q    geom.Rect  // Window
+	K    int        // Nearest
+}
+
+// MixedTrace is a fully materialized recorded workload: initial
+// positions (ids 0..len(Initial)-1, bulk-loadable) plus a mixed
+// operation stream. Traces serialize with gob, so a run can be
+// archived and replayed bit-for-bit later.
+type MixedTrace struct {
+	Spec Spec
+	// Initial holds the starting positions; object i has id i.
+	Initial []geom.Point
+	Ops     []TraceOp
+}
+
+// MixedTraceRatios sets the operation mix of BuildMixedTrace; the
+// fields must sum to at most 1, the remainder becomes updates.
+type MixedTraceRatios struct {
+	Insert  float64
+	Delete  float64
+	Window  float64
+	Nearest float64
+}
+
+// DefaultMixedRatios is the canonical equivalence-test mix: mostly
+// updates, with enough churn and reads to exercise every code path.
+func DefaultMixedRatios() MixedTraceRatios {
+	return MixedTraceRatios{Insert: 0.08, Delete: 0.08, Window: 0.15, Nearest: 0.05}
+}
+
+// BuildMixedTrace materializes a deterministic mixed trace of nOps
+// operations over a workload spec. Updates move a live object by the
+// spec's bounded random distance; inserts allocate fresh ids; deletes
+// pick a random live object. The builder tracks liveness so the trace
+// is always applicable: no update/delete of a dead id, no duplicate
+// insert.
+func BuildMixedTrace(spec Spec, nOps int, mix MixedTraceRatios) *MixedTrace {
+	g := NewGenerator(spec)
+	tr := &MixedTrace{
+		Spec:    g.Spec(),
+		Initial: append([]geom.Point(nil), g.Positions()...),
+		Ops:     make([]TraceOp, 0, nOps),
+	}
+	rng := g.rng
+	live := make([]uint64, len(tr.Initial))
+	pos := make(map[uint64]geom.Point, len(tr.Initial))
+	for i, p := range tr.Initial {
+		live[i] = uint64(i)
+		pos[uint64(i)] = p
+	}
+	nextID := uint64(len(tr.Initial))
+	for len(tr.Ops) < nOps {
+		r := rng.Float64()
+		switch {
+		case r < mix.Insert:
+			p := geom.Point{X: rng.Float64(), Y: rng.Float64()}
+			tr.Ops = append(tr.Ops, TraceOp{Kind: TraceInsert, ID: nextID, P: p})
+			live = append(live, nextID)
+			pos[nextID] = p
+			nextID++
+		case r < mix.Insert+mix.Delete && len(live) > 1:
+			i := rng.Intn(len(live))
+			id := live[i]
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+			delete(pos, id)
+			tr.Ops = append(tr.Ops, TraceOp{Kind: TraceDelete, ID: id})
+		case r < mix.Insert+mix.Delete+mix.Window:
+			w := rng.Float64() * tr.Spec.QueryMaxSize
+			h := rng.Float64() * tr.Spec.QueryMaxSize
+			x, y := rng.Float64(), rng.Float64()
+			tr.Ops = append(tr.Ops, TraceOp{Kind: TraceWindow, Q: geom.Rect{MinX: x, MinY: y, MaxX: x + w, MaxY: y + h}})
+		case r < mix.Insert+mix.Delete+mix.Window+mix.Nearest:
+			tr.Ops = append(tr.Ops, TraceOp{
+				Kind: TraceNearest,
+				P:    geom.Point{X: rng.Float64(), Y: rng.Float64()},
+				K:    1 + rng.Intn(10),
+			})
+		default:
+			i := rng.Intn(len(live))
+			id := live[i]
+			old := pos[id]
+			dist := rng.Float64() * tr.Spec.MaxDistance
+			angle := rng.Float64() * 2 * math.Pi
+			np := geom.Point{X: old.X + dist*math.Cos(angle), Y: old.Y + dist*math.Sin(angle)}
+			pos[id] = np
+			tr.Ops = append(tr.Ops, TraceOp{Kind: TraceUpdate, ID: id, P: np})
+		}
+	}
+	return tr
+}
+
+// Write serializes the trace.
+func (t *MixedTrace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := gob.NewEncoder(bw).Encode(t); err != nil {
+		return fmt.Errorf("workload: encoding mixed trace: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadMixedTrace deserializes a trace.
+func ReadMixedTrace(r io.Reader) (*MixedTrace, error) {
+	var t MixedTrace
+	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&t); err != nil {
+		return nil, fmt.Errorf("workload: decoding mixed trace: %w", err)
+	}
+	return &t, nil
+}
+
+// WriteFile saves the trace to a file.
+func (t *MixedTrace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.Write(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadMixedTraceFile loads a trace from a file.
+func ReadMixedTraceFile(path string) (*MixedTrace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadMixedTrace(f)
+}
+
+// Frontend is the index surface the replay runner drives. burtree's
+// Index, ConcurrentIndex and ShardedIndex all satisfy it directly
+// (their Point/Rect types alias geom's).
+type Frontend interface {
+	Insert(id uint64, p geom.Point) error
+	Update(id uint64, p geom.Point) error
+	Delete(id uint64) error
+	Search(q geom.Rect) ([]uint64, error)
+	Location(id uint64) (geom.Point, bool)
+	Len() int
+}
+
+// NearestFunc answers a k-NN query with the ascending distance profile.
+// It is a separate hook because the front-ends' Nearest methods return
+// their own result type.
+type NearestFunc func(p geom.Point, k int) ([]float64, error)
+
+// BulkFunc loads the initial positions. When nil, ReplayTrace falls
+// back to one Insert per object.
+type BulkFunc func(ids []uint64, pts []geom.Point) error
+
+// Profile is everything observable about one replay: the final object
+// table as reported by the index, each window query's sorted id set,
+// and each NN query's distance profile. Two front-ends are equivalent
+// on a trace iff their profiles are identical.
+type Profile struct {
+	Objects map[uint64]geom.Point
+	Windows [][]uint64
+	NNDists [][]float64
+}
+
+// ReplayTrace replays the trace sequentially against f and returns the
+// observation profile. Every operation must succeed: the builder
+// guarantees applicability, so an error means the index under test is
+// broken.
+func ReplayTrace(f Frontend, nearest NearestFunc, bulk BulkFunc, t *MixedTrace) (*Profile, error) {
+	ids := make([]uint64, len(t.Initial))
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	if bulk != nil {
+		if err := bulk(ids, t.Initial); err != nil {
+			return nil, fmt.Errorf("workload: replay bulk load: %w", err)
+		}
+	} else {
+		for i, p := range t.Initial {
+			if err := f.Insert(uint64(i), p); err != nil {
+				return nil, fmt.Errorf("workload: replay insert %d: %w", i, err)
+			}
+		}
+	}
+	prof := &Profile{Objects: make(map[uint64]geom.Point)}
+	liveIDs := make(map[uint64]bool, len(ids))
+	for _, id := range ids {
+		liveIDs[id] = true
+	}
+	for i, op := range t.Ops {
+		switch op.Kind {
+		case TraceInsert:
+			if err := f.Insert(op.ID, op.P); err != nil {
+				return nil, fmt.Errorf("workload: replay op %d (%v %d): %w", i, op.Kind, op.ID, err)
+			}
+			liveIDs[op.ID] = true
+		case TraceUpdate:
+			if err := f.Update(op.ID, op.P); err != nil {
+				return nil, fmt.Errorf("workload: replay op %d (%v %d): %w", i, op.Kind, op.ID, err)
+			}
+		case TraceDelete:
+			if err := f.Delete(op.ID); err != nil {
+				return nil, fmt.Errorf("workload: replay op %d (%v %d): %w", i, op.Kind, op.ID, err)
+			}
+			delete(liveIDs, op.ID)
+		case TraceWindow:
+			got, err := f.Search(op.Q)
+			if err != nil {
+				return nil, fmt.Errorf("workload: replay op %d (window %v): %w", i, op.Q, err)
+			}
+			got = append([]uint64(nil), got...)
+			sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+			prof.Windows = append(prof.Windows, got)
+		case TraceNearest:
+			dists, err := nearest(op.P, op.K)
+			if err != nil {
+				return nil, fmt.Errorf("workload: replay op %d (nearest %v k=%d): %w", i, op.P, op.K, err)
+			}
+			prof.NNDists = append(prof.NNDists, dists)
+		default:
+			return nil, fmt.Errorf("workload: replay op %d: unknown kind %d", i, op.Kind)
+		}
+	}
+	for id := range liveIDs {
+		p, ok := f.Location(id)
+		if !ok {
+			return nil, fmt.Errorf("workload: replay: live object %d missing at end of trace", id)
+		}
+		prof.Objects[id] = p
+	}
+	if f.Len() != len(prof.Objects) {
+		return nil, fmt.Errorf("workload: replay: index reports %d objects, trace expects %d", f.Len(), len(prof.Objects))
+	}
+	return prof, nil
+}
+
+// Diff compares two profiles and describes the first divergence, or
+// returns nil when they are identical. Distances compare exactly: every
+// front-end computes them from the same coordinates with the same
+// arithmetic, so equivalence is bitwise.
+func (p *Profile) Diff(o *Profile) error {
+	if len(p.Objects) != len(o.Objects) {
+		return fmt.Errorf("object tables differ in size: %d vs %d", len(p.Objects), len(o.Objects))
+	}
+	for id, pt := range p.Objects {
+		opt, ok := o.Objects[id]
+		if !ok {
+			return fmt.Errorf("object %d missing from second profile", id)
+		}
+		if pt != opt {
+			return fmt.Errorf("object %d at %v vs %v", id, pt, opt)
+		}
+	}
+	if len(p.Windows) != len(o.Windows) {
+		return fmt.Errorf("window query counts differ: %d vs %d", len(p.Windows), len(o.Windows))
+	}
+	for i := range p.Windows {
+		a, b := p.Windows[i], o.Windows[i]
+		if len(a) != len(b) {
+			return fmt.Errorf("window %d: %d vs %d results", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				return fmt.Errorf("window %d: result %d: id %d vs %d", i, j, a[j], b[j])
+			}
+		}
+	}
+	if len(p.NNDists) != len(o.NNDists) {
+		return fmt.Errorf("NN query counts differ: %d vs %d", len(p.NNDists), len(o.NNDists))
+	}
+	for i := range p.NNDists {
+		a, b := p.NNDists[i], o.NNDists[i]
+		if len(a) != len(b) {
+			return fmt.Errorf("NN query %d: %d vs %d results", i, len(a), len(b))
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				return fmt.Errorf("NN query %d: dist %d: %g vs %g", i, j, a[j], b[j])
+			}
+		}
+	}
+	return nil
+}

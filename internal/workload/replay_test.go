@@ -1,0 +1,166 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"testing"
+
+	"burtree/internal/geom"
+)
+
+// mapFrontend is a brute-force oracle implementation of Frontend used
+// to validate the harness itself.
+type mapFrontend struct {
+	objects map[uint64]geom.Point
+}
+
+func newMapFrontend() *mapFrontend { return &mapFrontend{objects: make(map[uint64]geom.Point)} }
+
+func (m *mapFrontend) Insert(id uint64, p geom.Point) error {
+	if _, ok := m.objects[id]; ok {
+		return fmt.Errorf("duplicate %d", id)
+	}
+	m.objects[id] = p
+	return nil
+}
+
+func (m *mapFrontend) Update(id uint64, p geom.Point) error {
+	if _, ok := m.objects[id]; !ok {
+		return fmt.Errorf("unknown %d", id)
+	}
+	m.objects[id] = p
+	return nil
+}
+
+func (m *mapFrontend) Delete(id uint64) error {
+	if _, ok := m.objects[id]; !ok {
+		return fmt.Errorf("unknown %d", id)
+	}
+	delete(m.objects, id)
+	return nil
+}
+
+func (m *mapFrontend) Search(q geom.Rect) ([]uint64, error) {
+	var out []uint64
+	for id, p := range m.objects {
+		if q.ContainsPoint(p) {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+func (m *mapFrontend) Location(id uint64) (geom.Point, bool) {
+	p, ok := m.objects[id]
+	return p, ok
+}
+
+func (m *mapFrontend) Len() int { return len(m.objects) }
+
+func (m *mapFrontend) nearest(p geom.Point, k int) ([]float64, error) {
+	dists := make([]float64, 0, len(m.objects))
+	for _, q := range m.objects {
+		dists = append(dists, geom.Dist(p, q))
+	}
+	sort.Float64s(dists)
+	if len(dists) > k {
+		dists = dists[:k]
+	}
+	return dists, nil
+}
+
+func buildTestTrace(t *testing.T, n, ops int, seed int64) *MixedTrace {
+	t.Helper()
+	return BuildMixedTrace(Spec{NumObjects: n, Seed: seed}, ops, DefaultMixedRatios())
+}
+
+// The trace builder must produce applicable traces: replay against the
+// oracle must not error, and the mix must contain every op kind.
+func TestBuildMixedTraceApplicable(t *testing.T) {
+	tr := buildTestTrace(t, 300, 2000, 9)
+	counts := make(map[TraceOpKind]int)
+	for _, op := range tr.Ops {
+		counts[op.Kind]++
+	}
+	for _, k := range []TraceOpKind{TraceInsert, TraceUpdate, TraceDelete, TraceWindow, TraceNearest} {
+		if counts[k] == 0 {
+			t.Fatalf("trace contains no %v ops: %v", k, counts)
+		}
+	}
+	m := newMapFrontend()
+	prof, err := ReplayTrace(m, m.nearest, nil, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prof.Objects) != m.Len() {
+		t.Fatalf("profile has %d objects, oracle %d", len(prof.Objects), m.Len())
+	}
+	if len(prof.Windows) != counts[TraceWindow] || len(prof.NNDists) != counts[TraceNearest] {
+		t.Fatalf("profile recorded %d windows / %d NN, trace has %d / %d",
+			len(prof.Windows), len(prof.NNDists), counts[TraceWindow], counts[TraceNearest])
+	}
+}
+
+// Determinism: the same spec yields the same trace, and replaying it
+// twice yields identical profiles; a diverging replay is detected.
+func TestReplayDeterminismAndDiff(t *testing.T) {
+	tr1 := buildTestTrace(t, 200, 800, 4)
+	tr2 := buildTestTrace(t, 200, 800, 4)
+	if len(tr1.Ops) != len(tr2.Ops) {
+		t.Fatal("trace building is not deterministic")
+	}
+	for i := range tr1.Ops {
+		if tr1.Ops[i] != tr2.Ops[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, tr1.Ops[i], tr2.Ops[i])
+		}
+	}
+	m1, m2 := newMapFrontend(), newMapFrontend()
+	p1, err := ReplayTrace(m1, m1.nearest, nil, tr1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ReplayTrace(m2, m2.nearest, nil, tr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Diff(p2); err != nil {
+		t.Fatalf("identical replays diff: %v", err)
+	}
+	// Tamper with one observation; Diff must catch it.
+	if len(p2.Windows) == 0 {
+		t.Fatal("no windows to tamper with")
+	}
+	p2.Windows[0] = append(p2.Windows[0], 999_999)
+	if err := p1.Diff(p2); err == nil {
+		t.Fatal("Diff missed a tampered window result")
+	}
+}
+
+func TestMixedTraceRoundTrip(t *testing.T) {
+	tr := buildTestTrace(t, 100, 400, 12)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMixedTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Ops) != len(tr.Ops) || len(got.Initial) != len(tr.Initial) {
+		t.Fatalf("round trip lost data: %d/%d ops, %d/%d initial",
+			len(got.Ops), len(tr.Ops), len(got.Initial), len(tr.Initial))
+	}
+	m1, m2 := newMapFrontend(), newMapFrontend()
+	p1, err := ReplayTrace(m1, m1.nearest, nil, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := ReplayTrace(m2, m2.nearest, nil, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p1.Diff(p2); err != nil {
+		t.Fatalf("replay of round-tripped trace diverges: %v", err)
+	}
+}

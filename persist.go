@@ -2,18 +2,34 @@ package burtree
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 
 	"burtree/internal/buffer"
 	"burtree/internal/concurrent"
 	"burtree/internal/core"
 	"burtree/internal/pagestore"
 	"burtree/internal/rtree"
+	"burtree/internal/shard"
 	"burtree/internal/stats"
 )
+
+// Snapshot envelopes start with an 8-byte magic so a reader can tell a
+// single-tree snapshot from a sharded one (and reject files that are
+// neither) before any decoding happens.
+var (
+	snapshotMagic = [8]byte{'B', 'U', 'R', 'S', 'N', 'A', 'P', '2'}
+	shardedMagic  = [8]byte{'B', 'U', 'R', 'S', 'H', 'R', 'D', '2'}
+)
+
+// ErrBadSnapshot reports a reader that does not hold a burtree snapshot
+// (wrong magic, truncated header, or corrupt body).
+var ErrBadSnapshot = errors.New("burtree: not a valid snapshot")
 
 // savedIndex is the on-disk form of an Index: the full simulated page
 // store plus the metadata needed to re-attach the strategy. The summary
@@ -50,9 +66,33 @@ type savedIndex struct {
 
 const saveFormat = 1
 
+// savedSharded is the on-disk form of a ShardedIndex: a manifest (the
+// partitioning spec and the index-wide options) plus one complete
+// single-index snapshot per shard. Any front-end can load it — Load and
+// LoadConcurrent merge the shards into one tree, LoadSharded restores
+// the partition as saved.
+type savedSharded struct {
+	Format int
+
+	Options Options // index-wide options (totals, as passed to OpenSharded)
+
+	// Partitioning spec (mirrors shard.Spec).
+	Scheme int
+	Shards int
+	GridX  int
+	GridY  int
+	Bounds []uint64
+
+	// Blobs holds one complete single-index snapshot (magic included)
+	// per shard; len(Blobs) must equal Shards.
+	Blobs [][]byte
+}
+
+const shardedFormat = 1
+
 // saveSnapshot flushes the pool and encodes the complete index state to
-// w. Shared by both index front-ends; the ConcurrentIndex caller holds
-// the exclusive latch so the snapshot is quiescent.
+// w. Shared by both single-tree front-ends; the ConcurrentIndex caller
+// holds the exclusive latch so the snapshot is quiescent.
 func saveSnapshot(w io.Writer, store *pagestore.Store, pool *buffer.Pool, u core.Updater, objects map[uint64]Point, opts Options) error {
 	if err := pool.Flush(); err != nil {
 		return fmt.Errorf("burtree: save: %w", err)
@@ -90,6 +130,9 @@ func saveSnapshot(w io.Writer, store *pagestore.Store, pool *buffer.Pool, u core
 		s.HashDirectory = append(s.HashDirectory, uint64(p))
 	}
 	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return fmt.Errorf("burtree: save: %w", err)
+	}
 	if err := gob.NewEncoder(bw).Encode(&s); err != nil {
 		return fmt.Errorf("burtree: save: %w", err)
 	}
@@ -105,15 +148,7 @@ func (x *Index) Save(w io.Writer) error {
 
 // SaveFile writes the index snapshot to a file.
 func (x *Index) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := x.Save(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return saveToFile(path, x.Save)
 }
 
 // Save serializes the complete index to w. The whole index is locked
@@ -132,28 +167,101 @@ func (x *ConcurrentIndex) Save(w io.Writer) error {
 // SaveFile writes the index snapshot to a file under the exclusive
 // lock, like Save.
 func (x *ConcurrentIndex) SaveFile(path string) error {
+	return saveToFile(path, x.Save)
+}
+
+// Save serializes the sharded index to w: a manifest carrying the
+// partitioning spec plus one complete single-index snapshot per shard.
+// The whole index is gated exclusively for the duration, so the
+// snapshot is a globally quiescent point — no cross-shard move is ever
+// captured half-applied.
+func (x *ShardedIndex) Save(w io.Writer) error {
+	x.opMu.Lock()
+	defer x.opMu.Unlock()
+	spec := x.router.Spec()
+	s := savedSharded{
+		Format:  shardedFormat,
+		Options: x.options,
+		Scheme:  int(spec.Scheme),
+		Shards:  spec.Shards,
+		GridX:   spec.GridX,
+		GridY:   spec.GridY,
+		Bounds:  spec.Bounds,
+		Blobs:   make([][]byte, len(x.shards)),
+	}
+	for i, sh := range x.shards {
+		var buf bytes.Buffer
+		if err := sh.Save(&buf); err != nil {
+			return fmt.Errorf("burtree: save shard %d: %w", i, err)
+		}
+		s.Blobs[i] = buf.Bytes()
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(shardedMagic[:]); err != nil {
+		return fmt.Errorf("burtree: save: %w", err)
+	}
+	if err := gob.NewEncoder(bw).Encode(&s); err != nil {
+		return fmt.Errorf("burtree: save: %w", err)
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the sharded snapshot to a file, like Save.
+func (x *ShardedIndex) SaveFile(path string) error {
+	return saveToFile(path, x.Save)
+}
+
+func saveToFile(path string, save func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	if err := x.Save(f); err != nil {
+	if err := save(f); err != nil {
 		return err
 	}
 	return f.Close()
 }
 
-// loadSnapshot decodes a snapshot and rebuilds the shared machinery:
-// page store, buffer pool, re-attached strategy and object table.
-func loadSnapshot(r io.Reader) (indexParts, map[uint64]Point, error) {
-	var parts indexParts
+// readMagic consumes and returns the 8-byte envelope magic.
+func readMagic(br *bufio.Reader) ([8]byte, error) {
+	var m [8]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return m, fmt.Errorf("%w: reading magic: %v", ErrBadSnapshot, err)
+	}
+	return m, nil
+}
+
+// decodeSavedIndex decodes and sanity-checks a single-index snapshot
+// body, so corrupt input fails with an error instead of panicking in
+// the rebuild machinery.
+func decodeSavedIndex(br *bufio.Reader) (savedIndex, error) {
 	var s savedIndex
-	if err := gob.NewDecoder(bufio.NewReader(r)).Decode(&s); err != nil {
-		return parts, nil, fmt.Errorf("burtree: load: %w", err)
+	if err := gob.NewDecoder(br).Decode(&s); err != nil {
+		return s, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
 	}
 	if s.Format != saveFormat {
-		return parts, nil, fmt.Errorf("burtree: load: unsupported format %d", s.Format)
+		return s, fmt.Errorf("burtree: load: unsupported format %d", s.Format)
 	}
+	if s.PageSize < pagestore.MinPageSize {
+		return s, fmt.Errorf("%w: page size %d below minimum %d", ErrBadSnapshot, s.PageSize, pagestore.MinPageSize)
+	}
+	if s.Size < 0 || s.Height < 0 || s.HashSize < 0 {
+		return s, fmt.Errorf("%w: negative structural counts", ErrBadSnapshot)
+	}
+	if s.Root > uint64(len(s.Pages)) {
+		return s, fmt.Errorf("%w: root page %d beyond %d pages", ErrBadSnapshot, s.Root, len(s.Pages))
+	}
+	if s.Root == 0 && s.Size > 0 {
+		return s, fmt.Errorf("%w: %d objects but no root page", ErrBadSnapshot, s.Size)
+	}
+	return s, nil
+}
+
+// buildFromSaved rebuilds the shared machinery from a decoded snapshot:
+// page store, buffer pool, re-attached strategy and object table.
+func buildFromSaved(s savedIndex) (indexParts, map[uint64]Point, error) {
+	var parts indexParts
 	kind, err := s.Strategy.kind()
 	if err != nil {
 		return parts, nil, fmt.Errorf("burtree: load: %w", err)
@@ -236,23 +344,135 @@ func loadSnapshot(r io.Reader) (indexParts, map[uint64]Point, error) {
 	return parts, objects, nil
 }
 
-// Load reconstructs an index from a Save snapshot. The restored index
-// behaves identically to the original: same pages, same strategy, same
-// object table; the main-memory summary structure is rebuilt by one
-// tree walk.
+// decodeSavedSharded decodes and sanity-checks a sharded snapshot body.
+func decodeSavedSharded(br *bufio.Reader) (savedSharded, error) {
+	var s savedSharded
+	if err := gob.NewDecoder(br).Decode(&s); err != nil {
+		return s, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if s.Format != shardedFormat {
+		return s, fmt.Errorf("burtree: load: unsupported sharded format %d", s.Format)
+	}
+	if len(s.Blobs) != s.Shards {
+		return s, fmt.Errorf("%w: manifest declares %d shards but snapshot carries %d", ErrBadSnapshot, s.Shards, len(s.Blobs))
+	}
+	return s, nil
+}
+
+// mergedObjects collects the object tables of every shard blob without
+// rebuilding the shard trees, verifying that no object appears twice.
+func mergedObjects(s savedSharded) (map[uint64]Point, error) {
+	merged := make(map[uint64]Point)
+	for i, blob := range s.Blobs {
+		br := bufio.NewReader(bytes.NewReader(blob))
+		magic, err := readMagic(br)
+		if err != nil {
+			return nil, fmt.Errorf("burtree: load shard %d: %w", i, err)
+		}
+		if magic != snapshotMagic {
+			return nil, fmt.Errorf("%w: shard %d blob has wrong magic", ErrBadSnapshot, i)
+		}
+		dec, err := decodeSavedIndex(br)
+		if err != nil {
+			return nil, fmt.Errorf("burtree: load shard %d: %w", i, err)
+		}
+		for id, p := range dec.Objects {
+			if _, dup := merged[id]; dup {
+				return nil, fmt.Errorf("%w: object %d present in multiple shards", ErrBadSnapshot, id)
+			}
+			merged[id] = p
+		}
+	}
+	return merged, nil
+}
+
+// mergeInto bulk-loads the union of a sharded snapshot's objects into a
+// freshly opened front-end (ids in ascending order, so the merge is
+// deterministic).
+func mergeInto(s savedSharded, bulk func(ids []uint64, pts []Point) error) error {
+	objects, err := mergedObjects(s)
+	if err != nil {
+		return err
+	}
+	ids := make([]uint64, 0, len(objects))
+	for id := range objects {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	pts := make([]Point, len(ids))
+	for i, id := range ids {
+		pts[i] = objects[id]
+	}
+	return bulk(ids, pts)
+}
+
+// loadDispatch reads the envelope magic and hands the decoded snapshot
+// to the matching constructor hook: single receives the rebuilt
+// machinery of a single-tree snapshot, sharded receives the decoded
+// manifest of a sharded one. It is the one place that understands the
+// envelope, shared by Load and LoadConcurrent.
+func loadDispatch(r io.Reader, single func(indexParts, map[uint64]Point) error, sharded func(savedSharded) error) error {
+	br := bufio.NewReader(r)
+	magic, err := readMagic(br)
+	if err != nil {
+		return err
+	}
+	switch magic {
+	case snapshotMagic:
+		s, err := decodeSavedIndex(br)
+		if err != nil {
+			return err
+		}
+		parts, objects, err := buildFromSaved(s)
+		if err != nil {
+			return err
+		}
+		return single(parts, objects)
+	case shardedMagic:
+		s, err := decodeSavedSharded(br)
+		if err != nil {
+			return err
+		}
+		return sharded(s)
+	default:
+		return fmt.Errorf("%w: unrecognized magic %q", ErrBadSnapshot, magic[:])
+	}
+}
+
+// Load reconstructs an index from a Save snapshot. A single-tree
+// snapshot restores identically to the original: same pages, same
+// strategy, same object table (the main-memory summary structure is
+// rebuilt by one tree walk). A sharded snapshot is merged: the union of
+// the shards' objects is bulk-loaded into one fresh tree under the
+// manifest's options.
 func Load(r io.Reader) (*Index, error) {
-	parts, objects, err := loadSnapshot(r)
+	var idx *Index
+	err := loadDispatch(r,
+		func(parts indexParts, objects map[uint64]Point) error {
+			idx = &Index{
+				store:   parts.store,
+				pool:    parts.pool,
+				io:      parts.io,
+				updater: parts.u,
+				objects: objects,
+				options: parts.opts,
+			}
+			return nil
+		},
+		func(s savedSharded) error {
+			var err error
+			idx, err = Open(s.Options)
+			if err != nil {
+				return err
+			}
+			return mergeInto(s, func(ids []uint64, pts []Point) error {
+				return idx.BulkInsert(ids, pts, PackSTR)
+			})
+		})
 	if err != nil {
 		return nil, err
 	}
-	return &Index{
-		store:   parts.store,
-		pool:    parts.pool,
-		io:      parts.io,
-		updater: parts.u,
-		objects: objects,
-		options: parts.opts,
-	}, nil
+	return idx, nil
 }
 
 // LoadFile reads an index snapshot from a file.
@@ -266,22 +486,37 @@ func LoadFile(path string) (*Index, error) {
 }
 
 // LoadConcurrent reconstructs a ConcurrentIndex from a Save snapshot.
-// Snapshots are interchangeable between the two front-ends: a snapshot
-// written by an Index can be restored as a ConcurrentIndex and vice
-// versa.
+// Snapshots are interchangeable between the front-ends: a single-tree
+// snapshot written by an Index restores directly, and a sharded
+// snapshot is merged into one tree exactly as Load does.
 func LoadConcurrent(r io.Reader) (*ConcurrentIndex, error) {
-	parts, objects, err := loadSnapshot(r)
+	var idx *ConcurrentIndex
+	err := loadDispatch(r,
+		func(parts indexParts, objects map[uint64]Point) error {
+			idx = &ConcurrentIndex{
+				store:   parts.store,
+				pool:    parts.pool,
+				io:      parts.io,
+				db:      concurrent.New(parts.u, 32),
+				objects: objects,
+				options: parts.opts,
+			}
+			return nil
+		},
+		func(s savedSharded) error {
+			var err error
+			idx, err = OpenConcurrent(s.Options)
+			if err != nil {
+				return err
+			}
+			return mergeInto(s, func(ids []uint64, pts []Point) error {
+				return idx.BulkInsert(ids, pts, PackSTR)
+			})
+		})
 	if err != nil {
 		return nil, err
 	}
-	return &ConcurrentIndex{
-		store:   parts.store,
-		pool:    parts.pool,
-		io:      parts.io,
-		db:      concurrent.New(parts.u, 32),
-		objects: objects,
-		options: parts.opts,
-	}, nil
+	return idx, nil
 }
 
 // LoadConcurrentFile reads a snapshot from a file into a
@@ -293,4 +528,77 @@ func LoadConcurrentFile(path string) (*ConcurrentIndex, error) {
 	}
 	defer f.Close()
 	return LoadConcurrent(f)
+}
+
+// LoadSharded reconstructs a ShardedIndex from a sharded snapshot,
+// restoring the saved partitioning (scheme, shard count and range
+// boundaries) and every shard's tree exactly. Single-tree snapshots are
+// rejected: load those through Load or LoadConcurrent, then BulkInsert
+// into a fresh sharded index to re-partition.
+func LoadSharded(r io.Reader) (*ShardedIndex, error) {
+	br := bufio.NewReader(r)
+	magic, err := readMagic(br)
+	if err != nil {
+		return nil, err
+	}
+	switch magic {
+	case shardedMagic:
+	case snapshotMagic:
+		return nil, fmt.Errorf("burtree: LoadSharded: single-tree snapshot; load it with Load or LoadConcurrent and BulkInsert into a new sharded index")
+	default:
+		return nil, fmt.Errorf("%w: unrecognized magic %q", ErrBadSnapshot, magic[:])
+	}
+	s, err := decodeSavedSharded(br)
+	if err != nil {
+		return nil, err
+	}
+	router, err := shard.FromSpec(shard.Spec{
+		Scheme: shard.Scheme(s.Scheme),
+		Shards: s.Shards,
+		GridX:  s.GridX,
+		GridY:  s.GridY,
+		Bounds: s.Bounds,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	shards := make([]*ConcurrentIndex, s.Shards)
+	objects := make(map[uint64]Point)
+	for i, blob := range s.Blobs {
+		ci, err := LoadConcurrent(bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("burtree: load shard %d: %w", i, err)
+		}
+		shards[i] = ci
+		for id, p := range ci.objects {
+			if _, dup := objects[id]; dup {
+				return nil, fmt.Errorf("%w: object %d present in multiple shards", ErrBadSnapshot, id)
+			}
+			if owner := router.ShardOf(p); owner != i {
+				return nil, fmt.Errorf("%w: object %d at %v stored in shard %d but routes to %d", ErrBadSnapshot, id, p, i, owner)
+			}
+			objects[id] = p
+		}
+	}
+	scheme := ShardGrid
+	if shard.Scheme(s.Scheme) == shard.HilbertRange {
+		scheme = ShardHilbert
+	}
+	return &ShardedIndex{
+		router:  router,
+		shards:  shards,
+		options: s.Options,
+		sopts:   ShardOptions{Shards: s.Shards, Partition: scheme},
+		objects: objects,
+	}, nil
+}
+
+// LoadShardedFile reads a sharded snapshot from a file.
+func LoadShardedFile(path string) (*ShardedIndex, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadSharded(f)
 }

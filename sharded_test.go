@@ -1,0 +1,516 @@
+package burtree
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func shardVariants() []ShardOptions {
+	return []ShardOptions{
+		{Shards: 1, Partition: ShardGrid},
+		{Shards: 4, Partition: ShardGrid},
+		{Shards: 5, Partition: ShardHilbert},
+		{Shards: 8, Partition: ShardHilbert},
+	}
+}
+
+func openShardedTest(t testing.TB, s Strategy, so ShardOptions) *ShardedIndex {
+	t.Helper()
+	x, err := OpenSharded(Options{
+		Strategy:        s,
+		BufferPages:     64,
+		ExpectedObjects: 4096,
+	}, so)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func randomPoints(n int, seed int64) ([]uint64, []Point) {
+	rng := rand.New(rand.NewSource(seed))
+	ids := make([]uint64, n)
+	pts := make([]Point, n)
+	for i := range ids {
+		ids[i] = uint64(i)
+		pts[i] = Point{X: rng.Float64(), Y: rng.Float64()}
+	}
+	return ids, pts
+}
+
+func sortedShardedIDs(t *testing.T, search func(Rect) ([]uint64, error), q Rect) []uint64 {
+	t.Helper()
+	got, err := search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	return got
+}
+
+// TestShardedEquivalence drives the identical workload — bulk load,
+// updates (including forced cross-shard moves), inserts, deletes —
+// through a plain Index and a ShardedIndex and requires identical query
+// answers throughout.
+func TestShardedEquivalence(t *testing.T) {
+	for _, so := range shardVariants() {
+		so := so
+		t.Run(fmt.Sprintf("%s-%d", so.Partition, so.Shards), func(t *testing.T) {
+			ref := openTest(t, GeneralizedBottomUp)
+			sh := openShardedTest(t, GeneralizedBottomUp, so)
+
+			ids, pts := randomPoints(1500, 42)
+			if err := ref.BulkInsert(ids, pts, PackSTR); err != nil {
+				t.Fatal(err)
+			}
+			if err := sh.BulkInsert(ids, pts, PackSTR); err != nil {
+				t.Fatal(err)
+			}
+
+			rng := rand.New(rand.NewSource(7))
+			for step := 0; step < 1200; step++ {
+				switch rng.Intn(10) {
+				case 0: // insert a fresh object
+					id := uint64(10_000 + step)
+					p := Point{X: rng.Float64(), Y: rng.Float64()}
+					if err := ref.Insert(id, p); err != nil {
+						t.Fatal(err)
+					}
+					if err := sh.Insert(id, p); err != nil {
+						t.Fatal(err)
+					}
+				case 1: // delete an existing object
+					id := ids[rng.Intn(len(ids))]
+					re, se := ref.Delete(id), sh.Delete(id)
+					if (re == nil) != (se == nil) {
+						t.Fatalf("delete %d: ref err %v, sharded err %v", id, re, se)
+					}
+				default: // move: long jumps force cross-shard traffic
+					id := ids[rng.Intn(len(ids))]
+					old, ok := ref.Location(id)
+					if !ok {
+						continue
+					}
+					d := rng.Float64() * 0.4
+					ang := rng.Float64() * 2 * math.Pi
+					p := Point{X: old.X + d*math.Cos(ang), Y: old.Y + d*math.Sin(ang)}
+					re, se := ref.Update(id, p), sh.Update(id, p)
+					if (re == nil) != (se == nil) {
+						t.Fatalf("update %d: ref err %v, sharded err %v", id, re, se)
+					}
+				}
+				if step%200 == 0 {
+					q := NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+					a := sortedShardedIDs(t, ref.Search, q)
+					b := sortedShardedIDs(t, sh.Search, q)
+					if len(a) != len(b) {
+						t.Fatalf("step %d: window %v: %d vs %d results", step, q, len(a), len(b))
+					}
+					for i := range a {
+						if a[i] != b[i] {
+							t.Fatalf("step %d: window %v: id mismatch at %d: %d vs %d", step, q, i, a[i], b[i])
+						}
+					}
+					cr, _ := ref.Count(q)
+					cs, err := sh.Count(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if cr != cs {
+						t.Fatalf("step %d: Count %v: %d vs %d", step, q, cr, cs)
+					}
+				}
+			}
+			if ref.Len() != sh.Len() {
+				t.Fatalf("Len: ref %d, sharded %d", ref.Len(), sh.Len())
+			}
+			// Nearest-neighbour distance profiles must match exactly.
+			for i := 0; i < 40; i++ {
+				p := Point{X: rng.Float64()*1.2 - 0.1, Y: rng.Float64()*1.2 - 0.1}
+				na, err := ref.Nearest(p, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				nb, err := sh.Nearest(p, 10)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(na) != len(nb) {
+					t.Fatalf("NN at %v: %d vs %d results", p, len(na), len(nb))
+				}
+				for j := range na {
+					if na[j].Dist != nb[j].Dist {
+						t.Fatalf("NN at %v: dist[%d] %g vs %g", p, j, na[j].Dist, nb[j].Dist)
+					}
+				}
+			}
+			if err := sh.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestShardedUpdateBatch checks that batched application — including the
+// cross-shard delete+insert pairs — matches one-by-one application on a
+// reference index.
+func TestShardedUpdateBatch(t *testing.T) {
+	for _, so := range []ShardOptions{{Shards: 4}, {Shards: 6, Partition: ShardHilbert}} {
+		so := so
+		t.Run(fmt.Sprintf("%s-%d", so.Partition, so.Shards), func(t *testing.T) {
+			ref := openTest(t, GeneralizedBottomUp)
+			sh := openShardedTest(t, GeneralizedBottomUp, so)
+			ids, pts := randomPoints(2000, 5)
+			if err := ref.BulkInsert(ids, pts, PackSTR); err != nil {
+				t.Fatal(err)
+			}
+			if err := sh.BulkInsert(ids, pts, PackSTR); err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(11))
+			crossTotal := 0
+			for round := 0; round < 12; round++ {
+				batch := make([]Change, 0, 256)
+				for i := 0; i < 256; i++ {
+					id := ids[rng.Intn(len(ids))]
+					old, _ := ref.Location(id)
+					d := rng.Float64() * 0.3
+					ang := rng.Float64() * 2 * math.Pi
+					batch = append(batch, Change{ID: id, To: Point{X: old.X + d*math.Cos(ang), Y: old.Y + d*math.Sin(ang)}})
+				}
+				res, err := sh.UpdateBatch(batch)
+				if err != nil {
+					t.Fatal(err)
+				}
+				crossTotal += res.CrossShard
+				// Reference: apply the coalesced moves one by one.
+				final := make(map[uint64]Point, len(batch))
+				for _, c := range batch {
+					final[c.ID] = c.To
+				}
+				if res.Applied != len(final) {
+					t.Fatalf("round %d: Applied %d, want %d distinct ids", round, res.Applied, len(final))
+				}
+				for _, c := range batch {
+					if final[c.ID] == c.To {
+						if err := ref.Update(c.ID, c.To); err != nil {
+							t.Fatal(err)
+						}
+					}
+				}
+				q := NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+				a := sortedShardedIDs(t, ref.Search, q)
+				b := sortedShardedIDs(t, sh.Search, q)
+				if fmt.Sprint(a) != fmt.Sprint(b) {
+					t.Fatalf("round %d: window results diverge", round)
+				}
+				if err := sh.CheckInvariants(); err != nil {
+					t.Fatalf("round %d: %v", round, err)
+				}
+			}
+			if so.Shards > 1 && crossTotal == 0 {
+				t.Fatal("workload produced no cross-shard moves; test is vacuous")
+			}
+		})
+	}
+}
+
+// TestShardedHilbertBalance bulk-loads heavily skewed data and expects
+// the balanced Hilbert partition to spread it far better than a grid
+// would.
+func TestShardedHilbertBalance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 4000
+	ids := make([]uint64, n)
+	pts := make([]Point, n)
+	for i := range ids {
+		ids[i] = uint64(i)
+		u, v := rng.Float64(), rng.Float64()
+		pts[i] = Point{X: u * u * u, Y: v * v * v}
+	}
+	sh := openShardedTest(t, GeneralizedBottomUp, ShardOptions{Shards: 8, Partition: ShardHilbert})
+	if err := sh.BulkInsert(ids, pts, PackHilbert); err != nil {
+		t.Fatal(err)
+	}
+	lens := sh.ShardLens()
+	want := n / 8
+	for s, l := range lens {
+		if l < want/3 || l > want*3 {
+			t.Fatalf("hilbert shard %d holds %d of %d (want ≈%d): %v", s, l, n, want, lens)
+		}
+	}
+	if err := sh.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedErrors exercises the error surface: duplicate inserts,
+// unknown updates/deletes, unknown ids failing a whole batch, bulk
+// loading a non-empty index.
+func TestShardedErrors(t *testing.T) {
+	sh := openShardedTest(t, GeneralizedBottomUp, ShardOptions{Shards: 4})
+	if err := sh.Insert(1, Point{X: 0.1, Y: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Insert(1, Point{X: 0.2, Y: 0.2}); err == nil {
+		t.Fatal("duplicate insert must fail")
+	}
+	if err := sh.Update(99, Point{X: 0.5, Y: 0.5}); err == nil {
+		t.Fatal("unknown update must fail")
+	}
+	if err := sh.Delete(99); err == nil {
+		t.Fatal("unknown delete must fail")
+	}
+	if _, err := sh.UpdateBatch([]Change{{ID: 1, To: Point{X: 0.9, Y: 0.9}}, {ID: 99, To: Point{}}}); err == nil {
+		t.Fatal("batch with unknown id must fail")
+	}
+	if p, ok := sh.Location(1); !ok || p != (Point{X: 0.1, Y: 0.1}) {
+		t.Fatalf("failed batch must not move objects; got %v %v", p, ok)
+	}
+	if err := sh.BulkInsert([]uint64{7}, []Point{{X: 0.3, Y: 0.3}}, PackSTR); err == nil {
+		t.Fatal("BulkInsert on non-empty index must fail")
+	}
+	if _, err := OpenSharded(Options{Strategy: GeneralizedBottomUp}, ShardOptions{Shards: -3}); err == nil {
+		t.Fatal("negative shard count must fail")
+	}
+}
+
+// TestShardedDegenerateQueries: inverted and NaN windows contain no
+// points; they must answer empty (matching the single-tree index), not
+// panic in the scatter planner. Extreme windows and positions must not
+// overflow the routing arithmetic either.
+func TestShardedDegenerateQueries(t *testing.T) {
+	bad := []Rect{
+		{MinX: 0.99, MinY: 0.5, MaxX: 0.01, MaxY: 0.5}, // inverted x
+		{MinX: 0.5, MinY: 0.9, MaxX: 0.5, MaxY: 0.1},   // inverted y
+		{MinX: math.NaN(), MinY: 0, MaxX: 1, MaxY: 1},  // NaN corner
+	}
+	huge := Rect{MinX: 0.8, MinY: 0, MaxX: 1e20, MaxY: 1}
+	for _, so := range []ShardOptions{{Shards: 9}, {Shards: 8, Partition: ShardHilbert}} {
+		sh := openShardedTest(t, GeneralizedBottomUp, so)
+		ci := openConcurrentTest(t, GeneralizedBottomUp)
+		ids, pts := randomPoints(300, 8)
+		if err := sh.BulkInsert(ids, pts, PackSTR); err != nil {
+			t.Fatal(err)
+		}
+		if err := ci.BulkInsert(ids, pts, PackSTR); err != nil {
+			t.Fatal(err)
+		}
+		for _, q := range bad {
+			for name, search := range map[string]func(Rect) ([]uint64, error){"sharded": sh.Search, "concurrent": ci.Search} {
+				got, err := search(q)
+				if err != nil {
+					t.Fatalf("%v/%d %s: Search(%v): %v", so.Partition, so.Shards, name, q, err)
+				}
+				if len(got) != 0 {
+					t.Fatalf("%v/%d %s: Search(%v) returned %d results", so.Partition, so.Shards, name, q, len(got))
+				}
+			}
+			if n, err := sh.Count(q); err != nil || n != 0 {
+				t.Fatalf("Count(%v) = %d, %v", q, n, err)
+			}
+		}
+		got, err := sh.Search(huge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ci.Search(huge)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("huge window: sharded %d results, concurrent %d", len(got), len(want))
+		}
+	}
+}
+
+// TestShardedBulkInsertNaN: invalid coordinates must fail the whole
+// load before any shard is touched, and a corrected retry must work.
+func TestShardedBulkInsertNaN(t *testing.T) {
+	sh := openShardedTest(t, GeneralizedBottomUp, ShardOptions{Shards: 4})
+	ids, pts := randomPoints(500, 17)
+	pts[250] = Point{X: math.NaN(), Y: 0.5}
+	if err := sh.BulkInsert(ids, pts, PackSTR); err == nil {
+		t.Fatal("BulkInsert accepted NaN coordinates")
+	}
+	if sh.Len() != 0 {
+		t.Fatalf("failed BulkInsert left %d objects", sh.Len())
+	}
+	pts[250] = Point{X: 0.5, Y: 0.5}
+	if err := sh.BulkInsert(ids, pts, PackSTR); err != nil {
+		t.Fatalf("retry after failed load: %v", err)
+	}
+	if err := sh.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedConcurrentStress hammers a sharded index from many
+// goroutines mixing single updates, batches, window and NN queries, and
+// insert/delete churn, then validates every invariant at quiescence.
+// Run with -race.
+func TestShardedConcurrentStress(t *testing.T) {
+	sh := openShardedTest(t, GeneralizedBottomUp, ShardOptions{Shards: 4})
+	const n = 1200
+	ids, pts := randomPoints(n, 21)
+	if err := sh.BulkInsert(ids, pts, PackSTR); err != nil {
+		t.Fatal(err)
+	}
+	const workers = 8
+	iters := 60
+	if testing.Short() {
+		iters = 25
+	}
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) * 1031))
+			// Each worker owns a disjoint id range for updates, so
+			// per-object ordering is externally serialized as documented.
+			lo := w * (n / workers)
+			hi := lo + n/workers
+			for i := 0; i < iters; i++ {
+				switch rng.Intn(5) {
+				case 0: // batch of moves within the worker's range
+					batch := make([]Change, 0, 16)
+					for j := 0; j < 16; j++ {
+						id := uint64(lo + rng.Intn(hi-lo))
+						batch = append(batch, Change{ID: id, To: Point{X: rng.Float64(), Y: rng.Float64()}})
+					}
+					if _, err := sh.UpdateBatch(batch); err != nil {
+						errCh <- err
+						return
+					}
+				case 1: // window query
+					x, y := rng.Float64(), rng.Float64()
+					if _, err := sh.Search(NewRect(x, y, x+0.1, y+0.1)); err != nil {
+						errCh <- err
+						return
+					}
+				case 2: // NN query
+					if _, err := sh.Nearest(Point{X: rng.Float64(), Y: rng.Float64()}, 5); err != nil {
+						errCh <- err
+						return
+					}
+				case 3: // insert + delete churn in a private id space
+					id := uint64(100_000 + w*1000 + i)
+					p := Point{X: rng.Float64(), Y: rng.Float64()}
+					if err := sh.Insert(id, p); err != nil {
+						errCh <- err
+						return
+					}
+					if err := sh.Delete(id); err != nil {
+						errCh <- err
+						return
+					}
+				default: // single update, long jump (cross-shard)
+					id := uint64(lo + rng.Intn(hi-lo))
+					if err := sh.Update(id, Point{X: rng.Float64(), Y: rng.Float64()}); err != nil {
+						errCh <- err
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	if got := sh.Len(); got != n {
+		t.Fatalf("Len after churn: %d, want %d", got, n)
+	}
+	if err := sh.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	st, cs := sh.Stats()
+	if st.Size != n {
+		t.Fatalf("aggregated Size %d, want %d", st.Size, n)
+	}
+	if len(cs) != 4 {
+		t.Fatalf("expected 4 per-shard stats, got %d", len(cs))
+	}
+}
+
+// TestShardedSaveLoadRoundTrip saves a sharded index and restores it
+// through all three load paths: LoadSharded (exact partition),
+// LoadConcurrent and Load (merged single tree). All must answer queries
+// identically.
+func TestShardedSaveLoadRoundTrip(t *testing.T) {
+	sh := openShardedTest(t, GeneralizedBottomUp, ShardOptions{Shards: 4, Partition: ShardHilbert})
+	ids, pts := randomPoints(1800, 77)
+	if err := sh.BulkInsert(ids, pts, PackSTR); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 600; i++ {
+		id := ids[rng.Intn(len(ids))]
+		if err := sh.Update(id, Point{X: rng.Float64() * 1.1, Y: rng.Float64() * 1.1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := sh.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	sh2, err := LoadSharded(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh2.NumShards() != 4 || sh2.Partition() != ShardHilbert {
+		t.Fatalf("restored partition %v/%d", sh2.Partition(), sh2.NumShards())
+	}
+	if err := sh2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	ci, err := LoadConcurrent(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := Load(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != sh.Len() || ci.Len() != sh.Len() || sh2.Len() != sh.Len() {
+		t.Fatalf("Len diverges: sharded %d, restored %d/%d/%d", sh.Len(), sh2.Len(), ci.Len(), idx.Len())
+	}
+	for i := 0; i < 30; i++ {
+		q := NewRect(rng.Float64(), rng.Float64(), rng.Float64(), rng.Float64())
+		want := sortedShardedIDs(t, sh.Search, q)
+		for name, search := range map[string]func(Rect) ([]uint64, error){
+			"LoadSharded": sh2.Search, "LoadConcurrent": ci.Search, "Load": idx.Search,
+		} {
+			got := sortedShardedIDs(t, search, q)
+			if fmt.Sprint(got) != fmt.Sprint(want) {
+				t.Fatalf("%s: window %v diverges: %d vs %d results", name, q, len(got), len(want))
+			}
+		}
+	}
+	// The restored sharded index must keep working, including cross-shard
+	// moves and further snapshots.
+	for i := 0; i < 200; i++ {
+		id := ids[rng.Intn(len(ids))]
+		if err := sh2.Update(id, Point{X: rng.Float64(), Y: rng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sh2.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,758 @@
+package burtree
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"burtree/internal/shard"
+)
+
+// PartitionScheme selects how a ShardedIndex splits the data space.
+type PartitionScheme int
+
+const (
+	// ShardGrid tiles the unit square into equal cells, one per shard
+	// (the default; best on uniform data).
+	ShardGrid PartitionScheme = iota
+	// ShardHilbert splits a Hilbert linearization of the space into
+	// contiguous ranges, balanced by object count at bulk-load time;
+	// better on skewed data.
+	ShardHilbert
+)
+
+func (p PartitionScheme) String() string {
+	switch p {
+	case ShardGrid:
+		return "grid"
+	case ShardHilbert:
+		return "hilbert"
+	default:
+		return fmt.Sprintf("PartitionScheme(%d)", int(p))
+	}
+}
+
+// ShardOptions configures the partitioning of a ShardedIndex.
+type ShardOptions struct {
+	// Shards is the number of partitions (default 4, max
+	// shard.MaxShards). Each shard is a self-contained ConcurrentIndex
+	// with its own page store, buffer pool, hash index and lock manager.
+	Shards int
+	// Partition picks the space-splitting scheme.
+	Partition PartitionScheme
+}
+
+func (o ShardOptions) withDefaults() ShardOptions {
+	if o.Shards == 0 {
+		o.Shards = 4
+	}
+	return o
+}
+
+// ShardedIndex partitions the data space across N self-contained
+// ConcurrentIndex shards so that updates in different regions contend on
+// nothing at all — not even a shared buffer-pool latch or lock-manager
+// mutex. It offers the familiar front-end API: updates, batched updates,
+// window and nearest-neighbour queries, bulk loading and snapshots, and
+// is safe for concurrent use by any number of goroutines.
+//
+//   - Writes route by target cell: an object lives in the shard owning
+//     its current position. A move within one shard is that shard's
+//     bottom-up update; a move across shards becomes a delete in the
+//     source and an insert in the destination.
+//   - Search and Count scatter to the shards overlapping the window and
+//     gather the results; each object is owned by exactly one shard, so
+//     the union is exact and duplicate-free.
+//   - Nearest runs best-first over a shard priority queue ordered by the
+//     MinDist of each shard's responsibility region, stopping as soon as
+//     the next region lies farther than the current k-th neighbour.
+//
+// Consistency is per shard: a query observes each shard it touches at a
+// consistent point (DGL granule locks, as ConcurrentIndex), but a
+// scatter is not one global snapshot — a reader racing a cross-shard
+// move can miss the mover (read after its delete, before its insert)
+// or, if its shard visits straddle the move, observe it twice. Readers
+// that need a globally consistent view quiesce writers first, as Save
+// does.
+type ShardedIndex struct {
+	router  *shard.Router
+	shards  []*ConcurrentIndex
+	options Options      // as passed to OpenSharded (totals, not per shard)
+	sopts   ShardOptions // normalized
+
+	// opMu is the snapshot gate: operations hold it shared for their
+	// whole duration, Save/BulkInsert/Flush hold it exclusively so they
+	// observe (and produce) a quiescent, globally consistent state.
+	opMu sync.RWMutex
+
+	mu      sync.RWMutex
+	objects map[uint64]Point
+}
+
+// OpenSharded creates an empty sharded index. The Options are totals for
+// the whole index: the buffer pool and hash-index budgets are divided
+// evenly among the shards, so comparing shard counts compares equal
+// hardware.
+func OpenSharded(opts Options, sopts ShardOptions) (*ShardedIndex, error) {
+	sopts = sopts.withDefaults()
+	var router *shard.Router
+	var err error
+	switch sopts.Partition {
+	case ShardHilbert:
+		router, err = shard.NewHilbertUniform(sopts.Shards)
+	default:
+		router, err = shard.NewGrid(sopts.Shards)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("burtree: %w", err)
+	}
+	shards, err := openShards(opts, sopts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	return &ShardedIndex{
+		router:  router,
+		shards:  shards,
+		options: opts,
+		sopts:   sopts,
+		objects: make(map[uint64]Point),
+	}, nil
+}
+
+// perShardOptions divides the index-wide budgets across n shards.
+func perShardOptions(opts Options, n int) Options {
+	per := opts
+	if per.ExpectedObjects == 0 {
+		per.ExpectedObjects = 1024
+	}
+	per.ExpectedObjects = per.ExpectedObjects / n
+	if per.ExpectedObjects < 64 {
+		per.ExpectedObjects = 64
+	}
+	if per.BufferPages > 0 {
+		per.BufferPages = per.BufferPages / n
+		if per.BufferPages < 1 {
+			per.BufferPages = 1
+		}
+	}
+	return per
+}
+
+func openShards(opts Options, n int) ([]*ConcurrentIndex, error) {
+	per := perShardOptions(opts, n)
+	shards := make([]*ConcurrentIndex, n)
+	for i := range shards {
+		ci, err := OpenConcurrent(per)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = ci
+	}
+	return shards, nil
+}
+
+// NumShards returns the shard count.
+func (x *ShardedIndex) NumShards() int {
+	x.opMu.RLock()
+	defer x.opMu.RUnlock()
+	return len(x.shards)
+}
+
+// Partition returns the partitioning scheme in use.
+func (x *ShardedIndex) Partition() PartitionScheme { return x.sopts.Partition }
+
+// ShardLens returns the number of objects per shard (diagnostics and
+// balance monitoring).
+func (x *ShardedIndex) ShardLens() []int {
+	x.opMu.RLock()
+	defer x.opMu.RUnlock()
+	out := make([]int, len(x.shards))
+	for i, s := range x.shards {
+		out[i] = s.Len()
+	}
+	return out
+}
+
+// SetIOLatency simulates a per-page-access service time on every shard's
+// store. Zero disables the simulation.
+func (x *ShardedIndex) SetIOLatency(d time.Duration) {
+	x.opMu.RLock()
+	defer x.opMu.RUnlock()
+	for _, s := range x.shards {
+		s.SetIOLatency(d)
+	}
+}
+
+// BulkInsert loads many objects at once into an empty index. With the
+// ShardHilbert partition the router is rebuilt first so the Hilbert
+// ranges are balanced over the actual data; the objects are then routed
+// and every shard bulk-loads its partition in parallel. The whole index
+// is locked exclusively for the duration.
+func (x *ShardedIndex) BulkInsert(ids []uint64, pts []Point, method PackMethod) error {
+	x.opMu.Lock()
+	defer x.opMu.Unlock()
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	if len(x.objects) != 0 {
+		return fmt.Errorf("burtree: BulkInsert on non-empty index")
+	}
+	if len(ids) != len(pts) {
+		return fmt.Errorf("burtree: BulkInsert: %d ids for %d points", len(ids), len(pts))
+	}
+	if x.sopts.Partition == ShardHilbert {
+		router, err := shard.NewHilbertBalanced(len(x.shards), pts)
+		if err != nil {
+			return fmt.Errorf("burtree: %w", err)
+		}
+		x.router = router
+	}
+	objects := make(map[uint64]Point, len(ids))
+	perIDs := make([][]uint64, len(x.shards))
+	perPts := make([][]Point, len(x.shards))
+	for i, id := range ids {
+		if _, dup := objects[id]; dup {
+			return fmt.Errorf("%w: %d", ErrDuplicateObject, id)
+		}
+		// Validate every point before any shard loads anything, matching
+		// the single-tree path (which validates all rects before packing):
+		// a mid-load failure would leave some shards populated and others
+		// empty, with no way back to a loadable state.
+		if pts[i].X != pts[i].X || pts[i].Y != pts[i].Y {
+			return fmt.Errorf("burtree: BulkInsert: object %d has NaN coordinates", id)
+		}
+		objects[id] = pts[i]
+		s := x.router.ShardOf(pts[i])
+		perIDs[s] = append(perIDs[s], id)
+		perPts[s] = append(perPts[s], pts[i])
+	}
+	errs := make([]error, len(x.shards))
+	var wg sync.WaitGroup
+	for s := range x.shards {
+		if len(perIDs[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = x.shards[s].BulkInsert(perIDs[s], perPts[s], method)
+		}(s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			// A shard failed mid-load while others succeeded. Rebuild every
+			// shard empty so the index returns to its pre-call state and a
+			// corrected retry is possible.
+			if fresh, rerr := openShards(x.options, len(x.shards)); rerr == nil {
+				x.shards = fresh
+			}
+			return err
+		}
+	}
+	x.objects = objects
+	return nil
+}
+
+// Insert adds a new object at p, routed to the shard owning p.
+func (x *ShardedIndex) Insert(id uint64, p Point) error {
+	x.opMu.RLock()
+	defer x.opMu.RUnlock()
+	x.mu.Lock()
+	if _, ok := x.objects[id]; ok {
+		x.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrDuplicateObject, id)
+	}
+	x.objects[id] = p
+	x.mu.Unlock()
+	if err := x.shards[x.router.ShardOf(p)].Insert(id, p); err != nil {
+		x.mu.Lock()
+		if cur, ok := x.objects[id]; ok && cur == p {
+			delete(x.objects, id)
+		}
+		x.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// Update moves an existing object to p. A move within one shard runs
+// that shard's bottom-up update; a move across shards becomes a delete
+// in the source shard followed by an insert in the destination. As with
+// ConcurrentIndex, racing updates of the same object are last-writer-
+// wins on the object table; callers that need per-object ordering
+// serialize their own access.
+func (x *ShardedIndex) Update(id uint64, p Point) error {
+	x.opMu.RLock()
+	defer x.opMu.RUnlock()
+	x.mu.Lock()
+	old, ok := x.objects[id]
+	if !ok {
+		x.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
+	}
+	x.objects[id] = p
+	x.mu.Unlock()
+	err := x.moveRouted(id, old, p)
+	if err != nil {
+		x.mu.Lock()
+		if cur, ok := x.objects[id]; ok && cur == p {
+			x.objects[id] = old
+		}
+		x.mu.Unlock()
+	}
+	return err
+}
+
+// moveRouted applies one move against the shard trees: in-shard update
+// or cross-shard delete+insert. The caller owns the object-table entry.
+func (x *ShardedIndex) moveRouted(id uint64, old, p Point) error {
+	src, dst := x.router.ShardOf(old), x.router.ShardOf(p)
+	if src == dst {
+		return x.shards[src].Update(id, p)
+	}
+	if err := x.shards[src].Delete(id); err != nil {
+		return err
+	}
+	if err := x.shards[dst].Insert(id, p); err != nil {
+		// Try to put the object back where it was so the index stays
+		// complete; if even that fails the object is lost from the trees
+		// and the sticky shard error will surface in CheckInvariants.
+		if rerr := x.shards[src].Insert(id, old); rerr != nil {
+			return fmt.Errorf("burtree: cross-shard move of %d failed (%w) and rollback failed: %v", id, err, rerr)
+		}
+		return err
+	}
+	return nil
+}
+
+// Delete removes an object from its owning shard.
+func (x *ShardedIndex) Delete(id uint64) error {
+	x.opMu.RLock()
+	defer x.opMu.RUnlock()
+	x.mu.Lock()
+	old, ok := x.objects[id]
+	if !ok {
+		x.mu.Unlock()
+		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
+	}
+	delete(x.objects, id)
+	x.mu.Unlock()
+	if err := x.shards[x.router.ShardOf(old)].Delete(id); err != nil {
+		x.mu.Lock()
+		if _, ok := x.objects[id]; !ok {
+			x.objects[id] = old
+		}
+		x.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// crossMove is one batch change that leaves its shard: a delete in src
+// followed by an insert in dst, with enough state to roll back.
+type crossMove struct {
+	id       uint64
+	old, new Point
+	src, dst int
+	departed bool // the src delete succeeded; dst owes an insert
+}
+
+// shardWork is one shard's slice of a batch: in-shard moves plus its
+// sides of the cross-shard moves.
+type shardWork struct {
+	stay []Change     // moves that stay in this shard
+	del  []*crossMove // departures (delete here)
+	ins  []*crossMove // arrivals (insert here)
+}
+
+// UpdateBatch moves many objects at once. The batch is coalesced once
+// against the global object table, routed to shards by target cell, and
+// applied per shard in parallel: each shard receives its in-shard moves
+// as one batched bottom-up pass (its ConcurrentIndex.UpdateBatch) plus
+// its share of the cross-shard moves as delete+insert pairs. Work inside
+// a shard is applied in a deterministic order (departures sorted by id,
+// then the batched moves, then arrivals sorted by id) and no operation
+// ever holds locks in two shards, so the schedule is deadlock-free by
+// construction. All departures complete before any arrival starts, so
+// no mover ever resides in two shards at once (a racing scatter can
+// still observe one twice if its shard visits straddle the move; see
+// the type comment).
+//
+// Every id must already be in the index; an unknown id fails the whole
+// batch before anything is applied. A batch is not atomic: on error the
+// changes already applied remain applied (the returned BatchResult
+// counts them). Concurrent writes to ids that are also in the batch
+// race with it — a racing cross-shard move can make part of the batch
+// fail against the moved object's old shard — so callers that need
+// per-object ordering serialize their own access (disjoint id ranges
+// per writer, as the experiment harness and examples do).
+func (x *ShardedIndex) UpdateBatch(changes []Change) (BatchResult, error) {
+	x.opMu.RLock()
+	defer x.opMu.RUnlock()
+	var res BatchResult
+	x.mu.RLock()
+	coalesced, dropped, err := coalesceChanges(changes, func(id uint64) (Point, bool) {
+		p, ok := x.objects[id]
+		return p, ok
+	})
+	x.mu.RUnlock()
+	if err != nil {
+		return res, err
+	}
+	res.Coalesced = dropped
+
+	work := make([]shardWork, len(x.shards))
+	for _, c := range coalesced {
+		src, dst := x.router.ShardOf(c.Old), x.router.ShardOf(c.New)
+		if src == dst {
+			work[src].stay = append(work[src].stay, Change{ID: c.OID, To: c.New})
+			continue
+		}
+		cm := &crossMove{id: c.OID, old: c.Old, new: c.New, src: src, dst: dst}
+		work[src].del = append(work[src].del, cm)
+		work[dst].ins = append(work[dst].ins, cm)
+	}
+
+	var resMu sync.Mutex
+
+	// Phase 1, per shard in parallel: departures (sorted by id), then
+	// the in-shard batch. An error stops that shard's remaining work;
+	// the other shards and phase 2 still run, so every departed mover
+	// gets its arrival attempted — a batch is not atomic, but it never
+	// strands an object outside every shard.
+	errs := make([]error, len(x.shards))
+	var wg sync.WaitGroup
+	for s := range x.shards {
+		w := &work[s]
+		if len(w.stay) == 0 && len(w.del) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, w *shardWork) {
+			defer wg.Done()
+			sort.Slice(w.del, func(i, j int) bool { return w.del[i].id < w.del[j].id })
+			for _, cm := range w.del {
+				if err := x.shards[s].Delete(cm.id); err != nil {
+					errs[s] = err
+					return
+				}
+				cm.departed = true
+			}
+			if len(w.stay) == 0 {
+				return
+			}
+			br, err := x.shards[s].UpdateBatch(w.stay)
+			resMu.Lock()
+			res.Applied += br.Applied
+			res.Groups += br.Groups
+			res.GroupResolved += br.GroupResolved
+			res.Fallback += br.Fallback
+			resMu.Unlock()
+			// Reconcile the global table with whatever prefix the shard
+			// applied (all of it when err == nil).
+			x.mu.Lock()
+			for _, c := range w.stay {
+				if p, ok := x.shards[s].Location(c.ID); ok {
+					x.objects[c.ID] = p
+				}
+			}
+			x.mu.Unlock()
+			if err != nil {
+				errs[s] = err
+			}
+		}(s, w)
+	}
+	wg.Wait()
+
+	// Phase 2, per shard in parallel: arrivals (sorted by id) of the
+	// movers whose departure succeeded. The barrier between the phases
+	// is what keeps a mover from being visible in two shards at once.
+	for s := range x.shards {
+		w := &work[s]
+		if len(w.ins) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, w *shardWork) {
+			defer wg.Done()
+			sort.Slice(w.ins, func(i, j int) bool { return w.ins[i].id < w.ins[j].id })
+			for _, cm := range w.ins {
+				if !cm.departed {
+					continue
+				}
+				if err := x.shards[s].Insert(cm.id, cm.new); err != nil {
+					// Put the object back in its source shard so the index
+					// stays complete; the global table keeps the old point.
+					if rerr := x.shards[cm.src].Insert(cm.id, cm.old); rerr != nil {
+						err = fmt.Errorf("burtree: cross-shard move of %d failed (%w) and rollback failed: %v", cm.id, err, rerr)
+					}
+					// Join rather than keep-first: a phase-1 error must not
+					// mask an arrival failure (possible object loss).
+					errs[s] = errors.Join(errs[s], err)
+					continue
+				}
+				x.mu.Lock()
+				x.objects[cm.id] = cm.new
+				x.mu.Unlock()
+				resMu.Lock()
+				res.Applied++
+				res.CrossShard++
+				resMu.Unlock()
+			}
+		}(s, w)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return res, e
+		}
+	}
+	return res, nil
+}
+
+// Search returns the ids of all objects inside the window q, scattering
+// to the shards overlapping q in parallel and gathering the results.
+// Each object is owned by exactly one shard, so the gather is exact and
+// duplicate-free.
+func (x *ShardedIndex) Search(q Rect) ([]uint64, error) {
+	x.opMu.RLock()
+	defer x.opMu.RUnlock()
+	targets := x.router.ShardsFor(q)
+	if len(targets) == 1 {
+		return x.shards[targets[0]].Search(q)
+	}
+	outs := make([][]uint64, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, s := range targets {
+		wg.Add(1)
+		go func(i, s int) {
+			defer wg.Done()
+			outs[i], errs[i] = x.shards[s].Search(q)
+		}(i, s)
+	}
+	wg.Wait()
+	var out []uint64
+	for i := range targets {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		out = append(out, outs[i]...)
+	}
+	return out, nil
+}
+
+// SearchFunc streams the objects inside q to visit; return false to stop
+// early. The scatter is sequential in shard order so the callback is
+// never invoked concurrently; each shard is visited under its own shared
+// granule locks.
+func (x *ShardedIndex) SearchFunc(q Rect, visit func(id uint64, p Point) bool) error {
+	x.opMu.RLock()
+	defer x.opMu.RUnlock()
+	stopped := false
+	for _, s := range x.router.ShardsFor(q) {
+		err := x.shards[s].SearchFunc(q, func(id uint64, p Point) bool {
+			if !visit(id, p) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if stopped {
+			return nil
+		}
+	}
+	return nil
+}
+
+// Count returns the number of objects inside q, scattering to the
+// overlapping shards in parallel and summing.
+func (x *ShardedIndex) Count(q Rect) (int, error) {
+	x.opMu.RLock()
+	defer x.opMu.RUnlock()
+	targets := x.router.ShardsFor(q)
+	if len(targets) == 1 {
+		return x.shards[targets[0]].Count(q)
+	}
+	counts := make([]int, len(targets))
+	errs := make([]error, len(targets))
+	var wg sync.WaitGroup
+	for i, s := range targets {
+		wg.Add(1)
+		go func(i, s int) {
+			defer wg.Done()
+			counts[i], errs[i] = x.shards[s].Count(q)
+		}(i, s)
+	}
+	wg.Wait()
+	total := 0
+	for i := range targets {
+		if errs[i] != nil {
+			return 0, errs[i]
+		}
+		total += counts[i]
+	}
+	return total, nil
+}
+
+// Nearest returns the k objects nearest to p in increasing distance. The
+// shards are visited best-first in order of the MinDist from p to each
+// shard's responsibility region; the scan stops as soon as the next
+// region lies farther than the current k-th neighbour, so on clustered
+// queries most shards are never touched. Within each visited shard the
+// query holds that shard's whole-tree granule shared — updates elsewhere
+// keep running, which is the point of sharding the NN path.
+func (x *ShardedIndex) Nearest(p Point, k int) ([]Neighbor, error) {
+	x.opMu.RLock()
+	defer x.opMu.RUnlock()
+	if k <= 0 {
+		return nil, nil
+	}
+	type shardDist struct {
+		s    int
+		dist float64
+	}
+	order := make([]shardDist, len(x.shards))
+	for s := range x.shards {
+		order[s] = shardDist{s: s, dist: x.router.Region(s).MinDistPoint(p)}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].dist != order[j].dist {
+			return order[i].dist < order[j].dist
+		}
+		return order[i].s < order[j].s
+	})
+	var best []Neighbor
+	for _, sd := range order {
+		if len(best) == k && sd.dist > best[k-1].Dist {
+			break
+		}
+		ns, err := x.shards[sd.s].Nearest(p, k)
+		if err != nil {
+			return nil, err
+		}
+		best = mergeNeighbors(best, ns, k)
+	}
+	return best, nil
+}
+
+// mergeNeighbors merges two ascending neighbour lists, keeping the k
+// nearest with deterministic (distance, id) ordering.
+func mergeNeighbors(a, b []Neighbor, k int) []Neighbor {
+	out := append(a, b...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Dist != out[j].Dist {
+			return out[i].Dist < out[j].Dist
+		}
+		return out[i].ID < out[j].ID
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// Len returns the number of indexed objects.
+func (x *ShardedIndex) Len() int {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	return len(x.objects)
+}
+
+// Location returns the last position accepted for the object.
+func (x *ShardedIndex) Location(id uint64) (Point, bool) {
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	p, ok := x.objects[id]
+	return p, ok
+}
+
+// Stats returns the aggregated physical counters and tree shape (sums
+// over the shards; Height is the maximum shard height) plus each shard's
+// lock-layer counters.
+func (x *ShardedIndex) Stats() (Stats, []ConcurrencyStats) {
+	x.opMu.RLock()
+	defer x.opMu.RUnlock()
+	var agg Stats
+	cs := make([]ConcurrencyStats, len(x.shards))
+	for i, s := range x.shards {
+		st, c := s.Stats()
+		cs[i] = c
+		agg.DiskReads += st.DiskReads
+		agg.DiskWrites += st.DiskWrites
+		agg.BufferHits += st.BufferHits
+		agg.Splits += st.Splits
+		agg.Reinserts += st.Reinserts
+		agg.Pages += st.Pages
+		agg.Size += st.Size
+		if st.Height > agg.Height {
+			agg.Height = st.Height
+		}
+		agg.Outcomes.InLeaf += st.Outcomes.InLeaf
+		agg.Outcomes.Extended += st.Outcomes.Extended
+		agg.Outcomes.Shifted += st.Outcomes.Shifted
+		agg.Outcomes.Piggyback += st.Outcomes.Piggyback
+		agg.Outcomes.Ascended += st.Outcomes.Ascended
+		agg.Outcomes.TopDown += st.Outcomes.TopDown
+	}
+	return agg, cs
+}
+
+// ResetStats zeroes the physical counters of every shard.
+func (x *ShardedIndex) ResetStats() {
+	x.opMu.RLock()
+	defer x.opMu.RUnlock()
+	for _, s := range x.shards {
+		s.ResetStats()
+	}
+}
+
+// Flush writes all buffered dirty pages of every shard to the simulated
+// disk, with the whole index locked exclusively.
+func (x *ShardedIndex) Flush() error {
+	x.opMu.Lock()
+	defer x.opMu.Unlock()
+	for _, s := range x.shards {
+		if err := s.Flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CheckInvariants validates every shard plus the sharding invariants:
+// the global object table partitions exactly into the shard tables, and
+// every object lives in the shard its position routes to. Callers must
+// ensure no updates are in flight.
+func (x *ShardedIndex) CheckInvariants() error {
+	x.opMu.RLock()
+	defer x.opMu.RUnlock()
+	total := 0
+	for i, s := range x.shards {
+		if err := s.CheckInvariants(); err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		total += s.Len()
+	}
+	x.mu.RLock()
+	defer x.mu.RUnlock()
+	if total != len(x.objects) {
+		return fmt.Errorf("burtree: shard sizes sum to %d, global table has %d", total, len(x.objects))
+	}
+	for id, p := range x.objects {
+		s := x.router.ShardOf(p)
+		got, ok := x.shards[s].Location(id)
+		if !ok {
+			return fmt.Errorf("burtree: object %d (at %v) missing from owning shard %d", id, p, s)
+		}
+		if got != p {
+			return fmt.Errorf("burtree: object %d at %v in shard %d, global table says %v", id, got, s, p)
+		}
+	}
+	return nil
+}
