@@ -41,6 +41,7 @@ package burtree
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 
 	"burtree/internal/buffer"
 	"burtree/internal/core"
@@ -48,6 +49,7 @@ import (
 	"burtree/internal/pagestore"
 	"burtree/internal/rtree"
 	"burtree/internal/stats"
+	"burtree/internal/wal"
 )
 
 // Point is a location in the 2-D data space.
@@ -151,6 +153,10 @@ type Options struct {
 	DisablePiggyback bool
 	// DisableSummaryQueries turns off GBU's memory-assisted queries.
 	DisableSummaryQueries bool
+	// Durability configures the write-ahead log. The zero value keeps
+	// the index volatile (snapshots only); see Durability for the
+	// per-batch and group-commit modes, Checkpoint and Recover.
+	Durability Durability
 }
 
 // ErrUnknownObject reports an operation on an object id that is not in
@@ -168,17 +174,23 @@ type Index struct {
 	updater core.Updater
 	objects map[uint64]Point
 	options Options // as passed to Open, for persistence
+
+	// wal is the write-ahead log when durability is enabled (nil
+	// otherwise); walSeq is the log sequence the loaded snapshot covers.
+	wal    *wal.Log
+	walSeq uint64
 }
 
 // indexParts is the machinery shared by Index and ConcurrentIndex: the
 // simulated store, its buffer pool, the physical counters and the
 // configured update strategy.
 type indexParts struct {
-	store *pagestore.Store
-	pool  *buffer.Pool
-	io    *stats.IO
-	u     core.Updater
-	opts  Options // normalized copy, retained for persistence
+	store  *pagestore.Store
+	pool   *buffer.Pool
+	io     *stats.IO
+	u      core.Updater
+	opts   Options // normalized copy, retained for persistence
+	walSeq uint64  // log sequence a loaded snapshot covers (0 when fresh)
 }
 
 // openParts builds the common machinery from user options, normalizing
@@ -228,20 +240,36 @@ func openParts(opts Options) (indexParts, error) {
 	return indexParts{store: store, pool: pool, io: io, u: u, opts: opts}, nil
 }
 
-// Open creates an empty index.
+// Open creates an empty index. With Options.Durability enabled, the
+// durability directory must not already hold a snapshot or log
+// segments — resume existing durable state with Recover instead.
 func Open(opts Options) (*Index, error) {
+	if err := opts.Durability.validate(); err != nil {
+		return nil, err
+	}
 	parts, err := openParts(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &Index{
+	x := &Index{
 		store:   parts.store,
 		pool:    parts.pool,
 		io:      parts.io,
 		updater: parts.u,
 		objects: make(map[uint64]Point),
 		options: parts.opts,
-	}, nil
+	}
+	if d := opts.Durability; d.enabled() {
+		if err := checkFreshDir(d.Dir); err != nil {
+			return nil, err
+		}
+		log, err := wal.Open(d.Dir, d.logOptions(0, nil))
+		if err != nil {
+			return nil, err
+		}
+		x.wal = log
+	}
+	return x, nil
 }
 
 // PackMethod selects the bulk-load packing algorithm.
@@ -287,6 +315,9 @@ func bulkLoad(u core.Updater, items []rtree.Item, method PackMethod) error {
 // BulkInsert loads many objects at once into an empty index using the
 // chosen packing method at ~66% node fill — far faster than repeated
 // Insert calls and the usual way to start the paper's experiments.
+// With durability enabled, a successful bulk load checkpoints
+// immediately: the snapshot, not per-object log records, is the
+// durable form of a bulk load.
 func (x *Index) BulkInsert(ids []uint64, pts []Point, method PackMethod) error {
 	if len(x.objects) != 0 {
 		return fmt.Errorf("burtree: BulkInsert on non-empty index")
@@ -299,7 +330,54 @@ func (x *Index) BulkInsert(ids []uint64, pts []Point, method PackMethod) error {
 		return err
 	}
 	x.objects = objects
+	if x.wal != nil {
+		return x.Checkpoint()
+	}
 	return nil
+}
+
+// logAppend records an acknowledged mutation in the write-ahead log,
+// blocking until it is durable under the configured sync policy.
+// No-op when durability is off.
+func (x *Index) logAppend(typ wal.Type, ops []wal.Op) error {
+	if x.wal == nil || len(ops) == 0 {
+		return nil
+	}
+	if _, err := x.wal.Append(typ, ops); err != nil {
+		return fmt.Errorf("burtree: durability: %w", err)
+	}
+	return nil
+}
+
+// Checkpoint makes the whole index state durable in one snapshot and
+// truncates the log: the snapshot is written atomically to the
+// durability directory (temp file, fsync, rename), embedding the log
+// sequence it covers, and every log segment whose records the snapshot
+// covers is deleted. Requires durability to be enabled.
+func (x *Index) Checkpoint() error {
+	if x.wal == nil {
+		return errors.New("burtree: Checkpoint requires durability to be enabled")
+	}
+	if err := x.wal.Sync(); err != nil {
+		return err
+	}
+	seq := x.wal.LastSeq()
+	path := filepath.Join(x.options.Durability.Dir, snapshotFileName)
+	if err := saveToFile(path, x.Save); err != nil {
+		return err
+	}
+	return x.wal.TruncateThrough(seq)
+}
+
+// Close syncs and closes the write-ahead log (no-op without
+// durability). The index itself stays usable for reads; further
+// mutations fail their durable append. Close does not checkpoint:
+// recovery replays the log onto the last snapshot.
+func (x *Index) Close() error {
+	if x.wal == nil {
+		return nil
+	}
+	return x.wal.Close()
 }
 
 // Insert adds a new object at p.
@@ -311,7 +389,7 @@ func (x *Index) Insert(id uint64, p Point) error {
 		return err
 	}
 	x.objects[id] = p
-	return nil
+	return x.logAppend(wal.TypeInsert, []wal.Op{{ID: id, X: p.X, Y: p.Y}})
 }
 
 // Update moves an existing object to p using the configured strategy.
@@ -326,7 +404,7 @@ func (x *Index) Update(id uint64, p Point) error {
 		return err
 	}
 	x.objects[id] = p
-	return nil
+	return x.logAppend(wal.TypeBatch, []wal.Op{{ID: id, X: p.X, Y: p.Y}})
 }
 
 // Change is one object move inside a batch: object ID moves to
@@ -408,13 +486,22 @@ func (x *Index) UpdateBatch(changes []Change) (BatchResult, error) {
 		return res, err
 	}
 	res.Coalesced = dropped
+	var applied []wal.Op
 	st, err := core.ApplyBatch(x.updater, coalesced, func(c core.BatchChange) {
 		x.objects[c.OID] = c.New
 		res.Applied++
+		if x.wal != nil {
+			applied = append(applied, wal.Op{ID: c.OID, X: c.New.X, Y: c.New.Y})
+		}
 	})
 	res.Groups = st.Groups
 	res.GroupResolved = st.GroupResolved
 	res.Fallback = st.LocalFallback + st.Sequential
+	// One record covers the applied prefix — all of the batch on
+	// success, exactly the changes before the failure otherwise.
+	if werr := x.logAppend(wal.TypeBatch, applied); werr != nil {
+		return res, errors.Join(err, werr)
+	}
 	return res, err
 }
 
@@ -428,7 +515,7 @@ func (x *Index) Delete(id uint64) error {
 		return err
 	}
 	delete(x.objects, id)
-	return nil
+	return x.logAppend(wal.TypeDelete, []wal.Op{{ID: id}})
 }
 
 // Location returns the current indexed position of an object.

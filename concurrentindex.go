@@ -1,7 +1,9 @@
 package burtree
 
 import (
+	"errors"
 	"fmt"
+	"path/filepath"
 	"sync"
 	"time"
 
@@ -10,6 +12,7 @@ import (
 	"burtree/internal/core"
 	"burtree/internal/pagestore"
 	"burtree/internal/stats"
+	"burtree/internal/wal"
 )
 
 // ConcurrentIndex is the multi-threaded variant of Index: operations are
@@ -37,22 +40,61 @@ type ConcurrentIndex struct {
 	mu      sync.RWMutex
 	objects map[uint64]Point
 	options Options // normalized copy, retained for persistence
+
+	// ckpt is the durability gate: mutating operations hold it shared
+	// across apply + log append, Save and Checkpoint hold it exclusively
+	// so the snapshot's embedded log sequence is consistent with its
+	// contents (no operation is ever caught between applying and
+	// logging). Uncontended outside checkpoints.
+	ckpt   sync.RWMutex
+	wal    *wal.Log
+	walSeq uint64
 }
 
-// OpenConcurrent creates an empty concurrent index.
+// OpenConcurrent creates an empty concurrent index. With
+// Options.Durability enabled, the durability directory must not
+// already hold a snapshot or log segments — resume existing durable
+// state with RecoverConcurrent instead.
 func OpenConcurrent(opts Options) (*ConcurrentIndex, error) {
+	if err := opts.Durability.validate(); err != nil {
+		return nil, err
+	}
 	parts, err := openParts(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &ConcurrentIndex{
+	x := &ConcurrentIndex{
 		store:   parts.store,
 		pool:    parts.pool,
 		io:      parts.io,
 		db:      concurrent.New(parts.u, 32),
 		objects: make(map[uint64]Point),
 		options: parts.opts,
-	}, nil
+	}
+	if d := opts.Durability; d.enabled() {
+		if err := checkFreshDir(d.Dir); err != nil {
+			return nil, err
+		}
+		log, err := wal.Open(d.Dir, d.logOptions(0, nil))
+		if err != nil {
+			return nil, err
+		}
+		x.wal = log
+	}
+	return x, nil
+}
+
+// logAppend records an acknowledged mutation, blocking until durable
+// under the configured sync policy (concurrent callers piggyback on
+// shared fsyncs in group-commit mode). Caller holds ckpt shared.
+func (x *ConcurrentIndex) logAppend(typ wal.Type, ops []wal.Op) error {
+	if x.wal == nil || len(ops) == 0 {
+		return nil
+	}
+	if _, err := x.wal.Append(typ, ops); err != nil {
+		return fmt.Errorf("burtree: durability: %w", err)
+	}
+	return nil
 }
 
 // SetIOLatency simulates a per-page-access service time, making
@@ -69,7 +111,7 @@ func (x *ConcurrentIndex) BulkInsert(ids []uint64, pts []Point, method PackMetho
 	if err != nil {
 		return err
 	}
-	return x.db.Exclusive(func(u core.Updater) error {
+	err = x.db.Exclusive(func(u core.Updater) error {
 		x.mu.Lock()
 		defer x.mu.Unlock()
 		if len(x.objects) != 0 {
@@ -81,10 +123,54 @@ func (x *ConcurrentIndex) BulkInsert(ids []uint64, pts []Point, method PackMetho
 		x.objects = objects
 		return nil
 	})
+	if err != nil {
+		return err
+	}
+	// With durability on, the snapshot (not per-object log records) is
+	// the durable form of a bulk load.
+	if x.wal != nil {
+		return x.Checkpoint()
+	}
+	return nil
+}
+
+// Checkpoint makes the whole index state durable in one snapshot and
+// truncates the log, like Index.Checkpoint. The index is gated
+// exclusively for the duration: no operation is caught between
+// applying and logging, so the snapshot's embedded log sequence is
+// exact.
+func (x *ConcurrentIndex) Checkpoint() error {
+	if x.wal == nil {
+		return errors.New("burtree: Checkpoint requires durability to be enabled")
+	}
+	x.ckpt.Lock()
+	defer x.ckpt.Unlock()
+	if err := x.wal.Sync(); err != nil {
+		return err
+	}
+	seq := x.wal.LastSeq()
+	path := filepath.Join(x.options.Durability.Dir, snapshotFileName)
+	if err := saveToFile(path, x.saveLocked); err != nil {
+		return err
+	}
+	return x.wal.TruncateThrough(seq)
+}
+
+// Close syncs and closes the write-ahead log (no-op without
+// durability). Reads keep working; further mutations fail their
+// durable append. Close does not checkpoint: recovery replays the log
+// onto the last snapshot.
+func (x *ConcurrentIndex) Close() error {
+	if x.wal == nil {
+		return nil
+	}
+	return x.wal.Close()
 }
 
 // Insert adds a new object at p.
 func (x *ConcurrentIndex) Insert(id uint64, p Point) error {
+	x.ckpt.RLock()
+	defer x.ckpt.RUnlock()
 	x.mu.Lock()
 	if _, ok := x.objects[id]; ok {
 		x.mu.Unlock()
@@ -105,7 +191,7 @@ func (x *ConcurrentIndex) Insert(id uint64, p Point) error {
 		x.mu.Unlock()
 		return err
 	}
-	return nil
+	return x.logAppend(wal.TypeInsert, []wal.Op{{ID: id, X: p.X, Y: p.Y}})
 }
 
 // Update moves an existing object to p. Updates to different objects
@@ -116,6 +202,8 @@ func (x *ConcurrentIndex) Insert(id uint64, p Point) error {
 // serialize their own access (disjoint id ranges per writer, or a
 // striped lock, as the examples do).
 func (x *ConcurrentIndex) Update(id uint64, p Point) error {
+	x.ckpt.RLock()
+	defer x.ckpt.RUnlock()
 	x.mu.Lock()
 	old, ok := x.objects[id]
 	if !ok {
@@ -137,7 +225,7 @@ func (x *ConcurrentIndex) Update(id uint64, p Point) error {
 		x.mu.Unlock()
 		return err
 	}
-	return nil
+	return x.logAppend(wal.TypeBatch, []wal.Op{{ID: id, X: p.X, Y: p.Y}})
 }
 
 // UpdateBatch moves many objects at once through the batched bottom-up
@@ -158,6 +246,8 @@ func (x *ConcurrentIndex) Update(id uint64, p Point) error {
 // callers that need per-object ordering serialize their own access, as
 // with Update.
 func (x *ConcurrentIndex) UpdateBatch(changes []Change) (BatchResult, error) {
+	x.ckpt.RLock()
+	defer x.ckpt.RUnlock()
 	var res BatchResult
 	x.mu.RLock()
 	coalesced, dropped, err := coalesceChanges(changes, func(id uint64) (Point, bool) {
@@ -169,20 +259,31 @@ func (x *ConcurrentIndex) UpdateBatch(changes []Change) (BatchResult, error) {
 		return res, err
 	}
 	res.Coalesced = dropped
+	var applied []wal.Op
 	st, err := x.db.UpdateBatch(coalesced, func(c core.BatchChange) {
 		x.mu.Lock()
 		x.objects[c.OID] = c.New
 		x.mu.Unlock()
 		res.Applied++
+		if x.wal != nil {
+			applied = append(applied, wal.Op{ID: c.OID, X: c.New.X, Y: c.New.Y})
+		}
 	})
 	res.Groups = st.Groups
 	res.GroupResolved = st.GroupResolved
 	res.Fallback = st.LocalFallback + st.Sequential
+	// One record covers the applied prefix — all of the batch on
+	// success, exactly the changes before the failure otherwise.
+	if werr := x.logAppend(wal.TypeBatch, applied); werr != nil {
+		return res, errors.Join(err, werr)
+	}
 	return res, err
 }
 
 // Delete removes an object.
 func (x *ConcurrentIndex) Delete(id uint64) error {
+	x.ckpt.RLock()
+	defer x.ckpt.RUnlock()
 	x.mu.Lock()
 	old, ok := x.objects[id]
 	if !ok {
@@ -202,7 +303,7 @@ func (x *ConcurrentIndex) Delete(id uint64) error {
 		x.mu.Unlock()
 		return err
 	}
-	return nil
+	return x.logAppend(wal.TypeDelete, []wal.Op{{ID: id}})
 }
 
 // Search returns the ids of all objects inside the window q, under

@@ -38,6 +38,12 @@ type Pool struct {
 	frames   map[pagestore.PageID]*list.Element
 	lru      *list.List // front = most recently used
 	inflight map[pagestore.PageID]*inflightWrite
+	// version counts disk-content events per page (write-back
+	// completions and discards). A read miss snapshots it before its
+	// unlatched disk read and re-checks after: a bump means the disk
+	// may have changed under the read, so caching it could serve stale
+	// bytes forever.
+	version map[pagestore.PageID]uint64
 }
 
 type frame struct {
@@ -49,11 +55,16 @@ type frame struct {
 // inflightWrite is a dirty victim on its way to disk. Readers serve from
 // it; a newer eviction of the same page chains behind it so disk writes
 // of one page are totally ordered.
+//
+// The entry stays in the in-flight table until its write-back completes
+// — even when canceled by Discard — so Flush's drain and later
+// evictions of the same page keep their ordering against it.
 type inflightWrite struct {
-	id   pagestore.PageID
-	data []byte
-	done chan struct{}
-	prev *inflightWrite // earlier write of the same page, if still running
+	id       pagestore.PageID
+	data     []byte
+	done     chan struct{}
+	prev     *inflightWrite // earlier write of the same page, if still running
+	canceled bool           // set under p.mu: the page was discarded; skip the disk write
 }
 
 // New creates a pool of at most capacity pages over store. Physical
@@ -70,6 +81,7 @@ func New(store *pagestore.Store, capacity int) *Pool {
 		frames:   make(map[pagestore.PageID]*list.Element, capacity),
 		lru:      list.New(),
 		inflight: make(map[pagestore.PageID]*inflightWrite),
+		version:  make(map[pagestore.PageID]uint64),
 	}
 }
 
@@ -95,49 +107,74 @@ func (p *Pool) ReadPage(id pagestore.PageID, dst []byte) error {
 	if len(dst) != p.store.PageSize() {
 		return pagestore.ErrPageSize
 	}
-	p.mu.Lock()
-	if el, ok := p.frames[id]; ok {
-		p.lru.MoveToFront(el)
-		copy(dst, el.Value.(*frame).data)
+	for attempt := 0; ; attempt++ {
+		p.mu.Lock()
+		if el, ok := p.frames[id]; ok {
+			p.lru.MoveToFront(el)
+			copy(dst, el.Value.(*frame).data)
+			p.mu.Unlock()
+			p.io.CountBufferHit()
+			return nil
+		}
+		if iw, ok := p.inflight[id]; ok && !iw.canceled {
+			// The latest contents are on their way to disk; serve them and
+			// re-cache without any physical read. (A canceled write holds
+			// discarded data and must never resurface.)
+			f := &frame{id: id, data: append([]byte(nil), iw.data...)}
+			copy(dst, f.data)
+			victim := p.insertLocked(f)
+			p.mu.Unlock()
+			p.io.CountBufferHit()
+			return p.writeBack(victim)
+		}
+		ver := p.version[id]
+		if attempt >= 2 {
+			// Repeated disk-content changes raced the unlatched reads
+			// below; read under the latch, which is totally ordered
+			// against write-back completions. Rare, so the lost overlap
+			// does not matter.
+			data := make([]byte, p.store.PageSize())
+			if err := p.store.ReadInto(id, data); err != nil {
+				p.mu.Unlock()
+				return err
+			}
+			copy(dst, data)
+			victim := p.insertLocked(&frame{id: id, data: data})
+			p.mu.Unlock()
+			return p.writeBack(victim)
+		}
 		p.mu.Unlock()
-		p.io.CountBufferHit()
-		return nil
-	}
-	if iw, ok := p.inflight[id]; ok {
-		// The latest contents are on their way to disk; serve them and
-		// re-cache without any physical read.
-		f := &frame{id: id, data: append([]byte(nil), iw.data...)}
-		copy(dst, f.data)
+
+		// Miss: fetch from disk with no latch held.
+		data := make([]byte, p.store.PageSize())
+		if err := p.store.ReadInto(id, data); err != nil {
+			return err
+		}
+
+		p.mu.Lock()
+		if el, ok := p.frames[id]; ok {
+			// Another thread cached the page meanwhile; its copy may be
+			// newer (a logical write could have landed), so prefer it.
+			p.lru.MoveToFront(el)
+			copy(dst, el.Value.(*frame).data)
+			p.mu.Unlock()
+			return nil
+		}
+		if iw, ok := p.inflight[id]; ok && !iw.canceled {
+			copy(data, iw.data)
+		} else if p.version[id] != ver {
+			// A write-back or discard completed between the two latch
+			// holds: the bytes read may predate it. Caching them would
+			// serve stale data until the next eviction; retry instead.
+			p.mu.Unlock()
+			continue
+		}
+		f := &frame{id: id, data: data}
+		copy(dst, data)
 		victim := p.insertLocked(f)
 		p.mu.Unlock()
-		p.io.CountBufferHit()
 		return p.writeBack(victim)
 	}
-	p.mu.Unlock()
-
-	// Miss: fetch from disk with no latch held.
-	data := make([]byte, p.store.PageSize())
-	if err := p.store.ReadInto(id, data); err != nil {
-		return err
-	}
-
-	p.mu.Lock()
-	if el, ok := p.frames[id]; ok {
-		// Another thread cached the page meanwhile; its copy may be
-		// newer (a logical write could have landed), so prefer it.
-		p.lru.MoveToFront(el)
-		copy(dst, el.Value.(*frame).data)
-		p.mu.Unlock()
-		return nil
-	}
-	if iw, ok := p.inflight[id]; ok {
-		copy(data, iw.data)
-	}
-	f := &frame{id: id, data: data}
-	copy(dst, data)
-	victim := p.insertLocked(f)
-	p.mu.Unlock()
-	return p.writeBack(victim)
 }
 
 // WritePage stores the page contents in the buffer, deferring the
@@ -192,7 +229,10 @@ func (p *Pool) insertLocked(f *frame) *inflightWrite {
 }
 
 // writeBack performs the physical write of an evicted dirty frame with
-// no latch held, after any earlier write of the same page completes.
+// no latch held, after any earlier write of the same page completes. A
+// write canceled by Discard skips the disk entirely — its data belongs
+// to a freed page that may since have been reallocated, and landing it
+// late would clobber the new page behind Flush's back.
 func (p *Pool) writeBack(iw *inflightWrite) error {
 	if iw == nil {
 		return nil
@@ -200,11 +240,18 @@ func (p *Pool) writeBack(iw *inflightWrite) error {
 	if iw.prev != nil {
 		<-iw.prev.done
 	}
-	err := p.store.Write(iw.id, iw.data)
+	p.mu.Lock()
+	canceled := iw.canceled
+	p.mu.Unlock()
+	var err error
+	if !canceled {
+		err = p.store.Write(iw.id, iw.data)
+	}
 	p.mu.Lock()
 	if p.inflight[iw.id] == iw {
 		delete(p.inflight, iw.id)
 	}
+	p.version[iw.id]++
 	p.mu.Unlock()
 	close(iw.done)
 	if err != nil && !errors.Is(err, pagestore.ErrPageFreed) {
@@ -235,6 +282,15 @@ func (p *Pool) drainInflightLocked() {
 
 // Discard drops the page from the pool without writing it back. Used when
 // a page is freed: its contents must not resurface.
+//
+// An in-flight eviction of the page is canceled, not forgotten: the
+// entry stays in the table until its write-back completes, so Flush
+// still drains it and a later eviction of a reallocated page with the
+// same id still orders behind it — but the discarded bytes themselves
+// never reach the disk. (Dropping the entry instead would let the
+// stale write land after the page is reallocated and rewritten,
+// invisible to Flush: a snapshot taken then would miss the newest
+// version of the page.)
 func (p *Pool) Discard(id pagestore.PageID) {
 	if p.cap == 0 {
 		return
@@ -245,7 +301,10 @@ func (p *Pool) Discard(id pagestore.PageID) {
 		p.lru.Remove(el)
 		delete(p.frames, id)
 	}
-	delete(p.inflight, id)
+	for iw := p.inflight[id]; iw != nil; iw = iw.prev {
+		iw.canceled = true
+	}
+	p.version[id]++
 }
 
 // Flush writes all dirty frames to disk. Frames stay resident (clean).
@@ -278,7 +337,13 @@ func (p *Pool) Invalidate() {
 	defer p.mu.Unlock()
 	p.frames = make(map[pagestore.PageID]*list.Element, p.cap)
 	p.lru.Init()
-	p.inflight = make(map[pagestore.PageID]*inflightWrite)
+	// Cancel (rather than drop) in-flight evictions so their stale data
+	// cannot land after the invalidation point.
+	for _, iw := range p.inflight {
+		for w := iw; w != nil; w = w.prev {
+			w.canceled = true
+		}
+	}
 }
 
 // Resident reports whether the page currently occupies a frame.

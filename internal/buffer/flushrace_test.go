@@ -1,0 +1,187 @@
+package buffer
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"burtree/internal/pagestore"
+	"burtree/internal/stats"
+)
+
+// TestDiscardCancelsZombieWriteBack reproduces the snapshot-corruption
+// scenario the in-flight table used to allow: a dirty eviction of page
+// P is pending behind an earlier slow write of P when the page is
+// discarded, freed and reallocated. Discard used to remove the entry
+// from the in-flight table, so Flush could not drain the pending write
+// — it landed the stale bytes on the reallocated page after Flush had
+// written the new contents, and a snapshot (store dump) taken then
+// missed the newest version. Discard must instead cancel the write
+// while keeping it drainable.
+func TestDiscardCancelsZombieWriteBack(t *testing.T) {
+	io := &stats.IO{}
+	store := pagestore.New(pageSize, io)
+	p := New(store, 2)
+	p1 := store.Alloc()
+	pa := store.Alloc()
+	pb := store.Alloc()
+	pc := store.Alloc()
+	pd := store.Alloc()
+
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(p.WritePage(p1, page(1))) // frame P1 dirty (v1)
+	must(p.WritePage(pa, page(0xaa)))
+
+	var wg sync.WaitGroup
+	step := func(lat time.Duration, f func()) {
+		store.SetLatency(lat)
+		wg.Add(1)
+		go func() { defer wg.Done(); f() }()
+		time.Sleep(10 * time.Millisecond)
+	}
+	// Each write below evicts the pool's LRU dirty frame; the evictor
+	// blocks in its write-back for the latency in force when it started.
+	// The first eviction (P1's old contents) is made very slow, so the
+	// later re-eviction of P1 — which must order behind it — is still
+	// queued long after everything else drained.
+	const slow = 300 * time.Millisecond
+	step(slow, func() { must(p.WritePage(pb, page(0xbb))) })                // evicts P1(v1) -> iw1, very slow
+	step(20*time.Millisecond, func() { must(p.WritePage(p1, page(2))) })    // re-cache P1 dirty (v2); evicts Pa
+	step(20*time.Millisecond, func() { must(p.WritePage(pc, page(0xcc))) }) // evicts Pb
+	step(20*time.Millisecond, func() { must(p.WritePage(pd, page(0xdd))) }) // evicts P1(v2) -> iw2 chained behind iw1
+	store.SetLatency(0)
+
+	// Let the unrelated write-backs finish; only the chained P1 writes
+	// (v1 still sleeping, v2 queued behind it) remain in flight.
+	time.Sleep(60 * time.Millisecond)
+
+	// Free the page mid-flight and reallocate it, as a node merge +
+	// split would.
+	p.Discard(p1)
+	must(store.Free(p1))
+	realloc := store.Alloc()
+	if realloc != p1 {
+		t.Fatalf("allocator did not recycle page %d (got %d)", p1, realloc)
+	}
+	must(p.WritePage(p1, page(3))) // the page's real new contents (v3)
+
+	// Flush must drain the canceled writes and leave v3 on disk; the
+	// zombie v2 write must never land — not even after the flush
+	// returns, which is exactly when a snapshot dumps the store.
+	must(p.Flush())
+	wg.Wait()
+	must(p.Flush()) // anything evicted while joining
+
+	got := make([]byte, pageSize)
+	must(store.ReadInto(p1, got))
+	if !bytes.Equal(got, page(3)) {
+		t.Fatalf("store holds stale page contents %d after flush, want %d (zombie write-back resurfaced)", got[0], 3)
+	}
+}
+
+// TestFlushRacesEvictionsAndDiscardRealloc races writers (with
+// discard/free/realloc churn) against concurrent Flush calls on a tiny
+// pool, then verifies the flushed store holds the newest version of
+// every live page. Run with -race this also exercises the in-flight
+// table's latching.
+func TestFlushRacesEvictionsAndDiscardRealloc(t *testing.T) {
+	io := &stats.IO{}
+	store := pagestore.New(pageSize, io)
+	p := New(store, 3)
+	const workers = 4
+	rounds := 300
+	if testing.Short() {
+		rounds = 120
+	}
+
+	stop := make(chan struct{})
+	var flushWg sync.WaitGroup
+	flushWg.Add(1)
+	go func() {
+		defer flushWg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				if err := p.Flush(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}
+	}()
+
+	finalID := make([]pagestore.PageID, workers)
+	finalVal := make([]byte, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			id := store.Alloc()
+			val := byte(rng.Intn(250) + 1)
+			buf := make([]byte, pageSize)
+			for r := 0; r < rounds; r++ {
+				if err := p.WritePage(id, page(val)); err != nil {
+					t.Error(err)
+					return
+				}
+				if rng.Intn(3) == 0 {
+					if err := p.ReadPage(id, buf); err != nil {
+						t.Error(err)
+						return
+					}
+					if buf[0] != val {
+						t.Errorf("worker %d round %d: read %d, wrote %d (stale cache)", w, r, buf[0], val)
+						return
+					}
+				}
+				if rng.Intn(4) == 0 {
+					// Retire the page mid-churn and start over on a
+					// recycled one.
+					p.Discard(id)
+					if err := store.Free(id); err != nil {
+						t.Error(err)
+						return
+					}
+					id = store.Alloc()
+				}
+				val = byte(rng.Intn(250) + 1)
+			}
+			if err := p.WritePage(id, page(val)); err != nil {
+				t.Error(err)
+				return
+			}
+			finalID[w], finalVal[w] = id, val
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	flushWg.Wait()
+	if t.Failed() {
+		return
+	}
+	if err := p.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The flushed store must hold each worker's final page contents —
+	// this is exactly what a snapshot dumps.
+	buf := make([]byte, pageSize)
+	for w := 0; w < workers; w++ {
+		if err := store.ReadInto(finalID[w], buf); err != nil {
+			t.Fatalf("worker %d final page: %v", w, err)
+		}
+		if buf[0] != finalVal[w] {
+			t.Fatalf("worker %d: store holds %d after flush, want %d (snapshot would miss the newest version)", w, buf[0], finalVal[w])
+		}
+	}
+}

@@ -1,0 +1,216 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"burtree"
+	"burtree/internal/geom"
+)
+
+// The wal experiment measures what the durability layer costs and what
+// group commit buys back: batched update throughput on a ConcurrentIndex
+// under each durability mode, swept against the number of concurrent
+// committer goroutines. With per-batch fsync every committer pays a full
+// device sync, so throughput is pinned near batch_size/sync_latency no
+// matter how many committers there are; with group commit concurrent
+// committers piggyback on one shared fsync, so throughput scales with
+// the committer count until the log's append bandwidth binds. A
+// simulated device-sync latency (Durability.SyncDelay) stands in for a
+// real disk's sync cost, exactly as the page store's simulated access
+// latency does in the paper's throughput study — otherwise the host's
+// page cache would make every policy look free.
+
+// walWorkerCounts is the column sweep (concurrent committers).
+var walWorkerCounts = []int{1, 4, 16}
+
+// WalSweepConfig drives one cell of the wal experiment.
+type WalSweepConfig struct {
+	Mode        burtree.DurabilityMode
+	GroupWindow time.Duration
+	Workers     int
+	NumObjects  int
+	Updates     int // total updates across all workers
+	BatchSize   int // updates per UpdateBatch call
+	SyncDelay   time.Duration
+	MaxDist     float64
+	Seed        int64
+}
+
+// WalSweepResult is one cell's outcome.
+type WalSweepResult struct {
+	UpdatesPerSec float64
+	Elapsed       time.Duration
+	Updates       int
+}
+
+// RunWalSweep builds a GBU ConcurrentIndex with the configured
+// durability (logging to a throwaway directory), bulk-loads the uniform
+// workload, then drives batched updates from the worker pool and
+// reports durable update throughput.
+func RunWalSweep(cfg WalSweepConfig) (WalSweepResult, error) {
+	var res WalSweepResult
+	if cfg.Workers < 1 || cfg.BatchSize < 1 {
+		return res, fmt.Errorf("exp: wal sweep needs Workers and BatchSize >= 1")
+	}
+	opts := burtree.Options{
+		Strategy:        burtree.GeneralizedBottomUp,
+		ExpectedObjects: cfg.NumObjects,
+	}
+	if cfg.Mode != burtree.DurabilityOff {
+		dir, err := os.MkdirTemp("", "burtree-wal-exp-*")
+		if err != nil {
+			return res, err
+		}
+		defer os.RemoveAll(dir)
+		opts.Durability = burtree.Durability{
+			Mode:        cfg.Mode,
+			Dir:         dir,
+			GroupWindow: cfg.GroupWindow,
+			SyncDelay:   cfg.SyncDelay,
+		}
+	}
+	idx, err := burtree.OpenConcurrent(opts)
+	if err != nil {
+		return res, err
+	}
+	defer idx.Close()
+
+	gen := rand.New(rand.NewSource(cfg.Seed))
+	ids := make([]uint64, cfg.NumObjects)
+	positions := make([]geom.Point, cfg.NumObjects)
+	pts := make([]burtree.Point, cfg.NumObjects)
+	for i := range ids {
+		ids[i] = uint64(i)
+		positions[i] = geom.Point{X: gen.Float64(), Y: gen.Float64()}
+		pts[i] = burtree.Point(positions[i])
+	}
+	if err := idx.BulkInsert(ids, pts, burtree.PackSTR); err != nil {
+		return res, err
+	}
+
+	workers := cfg.Workers
+	if workers > cfg.NumObjects {
+		workers = cfg.NumObjects
+	}
+	perWorker := cfg.Updates / workers
+	if perWorker < cfg.BatchSize {
+		perWorker = cfg.BatchSize
+	}
+	var mu sync.Mutex
+	total := 0
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			// Disjoint id ranges per worker: per-object ordering is
+			// externally serialized, as the API requires.
+			lo := w * (cfg.NumObjects / workers)
+			span := cfg.NumObjects / workers
+			done := 0
+			for done < perWorker {
+				batch := make([]burtree.Change, 0, cfg.BatchSize)
+				for j := 0; j < cfg.BatchSize; j++ {
+					oid := lo + rng.Intn(span)
+					old := positions[oid]
+					np := geom.Point{
+						X: old.X + (rng.Float64()*2-1)*cfg.MaxDist,
+						Y: old.Y + (rng.Float64()*2-1)*cfg.MaxDist,
+					}
+					positions[oid] = np
+					batch = append(batch, burtree.Change{ID: uint64(oid), To: burtree.Point(np)})
+				}
+				br, err := idx.UpdateBatch(batch)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				done += br.Applied
+				mu.Lock()
+				total += br.Applied
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	select {
+	case err := <-errCh:
+		return res, err
+	default:
+	}
+	if err := idx.CheckInvariants(); err != nil {
+		return res, fmt.Errorf("exp: wal sweep invariants: %w", err)
+	}
+	res.Updates = total
+	res.UpdatesPerSec = float64(total) / res.Elapsed.Seconds()
+	return res, nil
+}
+
+// walRows is the row sweep: the durability modes compared.
+var walRows = []struct {
+	label  string
+	mode   burtree.DurabilityMode
+	window time.Duration
+}{
+	{"off (volatile)", burtree.DurabilityOff, 0},
+	{"per-batch fsync", burtree.DurabilityBatch, 0},
+	{"group commit w=0", burtree.DurabilityGroup, 0},
+	{"group commit w=200us", burtree.DurabilityGroup, 200 * time.Microsecond},
+}
+
+// bundleWal runs the durability-mode × goroutine-count sweep and adds
+// the group-commit-over-per-batch speedup per column.
+func bundleWal(s Scale, seed int64) (map[string]*Table, error) {
+	cols := make([]string, len(walWorkerCounts))
+	for i, w := range walWorkerCounts {
+		cols[i] = fmt.Sprintf("g=%d", w)
+	}
+	t := &Table{
+		ID:      "wal",
+		Title:   "Durable updates: throughput (updates/s) vs commit policy x goroutines",
+		XLabel:  "committer goroutines",
+		YLabel:  "updates/s (batched updates, simulated 2ms device sync)",
+		Columns: cols,
+	}
+	rows := make(map[string][]float64, len(walRows))
+	for _, r := range walRows {
+		var row []float64
+		for _, workers := range walWorkerCounts {
+			res, err := RunWalSweep(WalSweepConfig{
+				Mode:        r.mode,
+				GroupWindow: r.window,
+				Workers:     workers,
+				NumObjects:  s.Objects,
+				Updates:     s.Ops * 2,
+				BatchSize:   16,
+				SyncDelay:   2 * time.Millisecond,
+				MaxDist:     0.03 * lengthScale(s),
+				Seed:        seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s workers=%d: %w", r.label, workers, err)
+			}
+			row = append(row, res.UpdatesPerSec)
+		}
+		rows[r.label] = row
+		t.AddRow(r.label, row)
+	}
+	if base, group := rows["per-batch fsync"], rows["group commit w=0"]; len(base) == len(group) {
+		speedup := make([]float64, len(base))
+		for i := range base {
+			if base[i] > 0 {
+				speedup[i] = group[i] / base[i]
+			}
+		}
+		t.AddRow("group/per-batch speedup", speedup)
+	}
+	return map[string]*Table{"wal": t}, nil
+}

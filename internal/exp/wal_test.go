@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"burtree"
+)
+
+// A tiny durable sweep cell must complete and produce throughput.
+func TestRunWalSweepSmoke(t *testing.T) {
+	for _, mode := range []burtree.DurabilityMode{burtree.DurabilityOff, burtree.DurabilityBatch, burtree.DurabilityGroup} {
+		r, err := RunWalSweep(WalSweepConfig{
+			Mode:       mode,
+			Workers:    4,
+			NumObjects: 1000,
+			Updates:    320,
+			BatchSize:  8,
+			SyncDelay:  50 * time.Microsecond,
+			MaxDist:    0.05,
+			Seed:       1,
+		})
+		if err != nil {
+			t.Fatalf("mode=%v: %v", mode, err)
+		}
+		if r.Updates < 320 || r.UpdatesPerSec <= 0 {
+			t.Fatalf("mode=%v: degenerate result %+v", mode, r)
+		}
+	}
+}
+
+// Group commit must beat per-batch fsync decisively once committers
+// can share syncs. The bound asserted here (3x at 16 goroutines, with
+// a simulated 2ms device sync) is deliberately below what the
+// sweep measures (see BENCH_wal.json), so the test is robust to slow CI machines; the full
+// sweep is recorded in BENCH_wal.json.
+func TestGroupCommitBeatsPerBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput comparison; run without -short")
+	}
+	run := func(mode burtree.DurabilityMode) WalSweepResult {
+		t.Helper()
+		r, err := RunWalSweep(WalSweepConfig{
+			Mode:       mode,
+			Workers:    16,
+			NumObjects: 4000,
+			Updates:    4000,
+			BatchSize:  16,
+			SyncDelay:  2 * time.Millisecond,
+			MaxDist:    0.03,
+			Seed:       1,
+		})
+		if err != nil {
+			t.Fatalf("mode=%v: %v", mode, err)
+		}
+		return r
+	}
+	base := run(burtree.DurabilityBatch)
+	group := run(burtree.DurabilityGroup)
+	if group.UpdatesPerSec < 3*base.UpdatesPerSec {
+		t.Fatalf("group commit %.0f updates/s vs per-batch %.0f: expected >= 3x",
+			group.UpdatesPerSec, base.UpdatesPerSec)
+	}
+	t.Logf("per-batch %.0f updates/s, group commit %.0f updates/s (%.1fx)",
+		base.UpdatesPerSec, group.UpdatesPerSec, group.UpdatesPerSec/base.UpdatesPerSec)
+}

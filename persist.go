@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"sort"
 
 	"burtree/internal/buffer"
@@ -62,6 +63,12 @@ type savedIndex struct {
 	HashSize      int
 
 	Objects map[uint64]Point
+
+	// WALSeq is the write-ahead log sequence this snapshot covers:
+	// recovery replays only records with greater sequences. Zero for
+	// snapshots taken without durability (gob also leaves it zero when
+	// decoding snapshots from before the field existed).
+	WALSeq uint64
 }
 
 const saveFormat = 1
@@ -86,6 +93,17 @@ type savedSharded struct {
 	// Blobs holds one complete single-index snapshot (magic included)
 	// per shard; len(Blobs) must equal Shards.
 	Blobs [][]byte
+
+	// Counts is the manifest's per-shard object count, written alongside
+	// the blobs so a reader can verify that manifest and blobs agree —
+	// in particular that a zero-entry shard really is empty rather than
+	// a truncated blob. Nil in snapshots from before the field existed
+	// (the check is skipped then).
+	Counts []int
+
+	// WALSeq is the shared log sequence this snapshot covers (see
+	// savedIndex.WALSeq); the per-shard log tails replay from it.
+	WALSeq uint64
 }
 
 const shardedFormat = 1
@@ -93,7 +111,7 @@ const shardedFormat = 1
 // saveSnapshot flushes the pool and encodes the complete index state to
 // w. Shared by both single-tree front-ends; the ConcurrentIndex caller
 // holds the exclusive latch so the snapshot is quiescent.
-func saveSnapshot(w io.Writer, store *pagestore.Store, pool *buffer.Pool, u core.Updater, objects map[uint64]Point, opts Options) error {
+func saveSnapshot(w io.Writer, store *pagestore.Store, pool *buffer.Pool, u core.Updater, objects map[uint64]Point, opts Options, walSeq uint64) error {
 	if err := pool.Flush(); err != nil {
 		return fmt.Errorf("burtree: save: %w", err)
 	}
@@ -122,6 +140,7 @@ func saveSnapshot(w io.Writer, store *pagestore.Store, pool *buffer.Pool, u core
 		Size:                  st.Size,
 		HashSize:              st.HashSize,
 		Objects:               objects,
+		WALSeq:                walSeq,
 	}
 	for _, f := range freed {
 		s.Freed = append(s.Freed, uint64(f))
@@ -141,9 +160,15 @@ func saveSnapshot(w io.Writer, store *pagestore.Store, pool *buffer.Pool, u core
 
 // Save serializes the complete index — pages, structural metadata and
 // the object table — to w. The buffer pool is flushed first, so the
-// snapshot is self-consistent.
+// snapshot is self-consistent. With durability enabled the snapshot
+// embeds the log sequence it covers, so it can serve as a recovery
+// base.
 func (x *Index) Save(w io.Writer) error {
-	return saveSnapshot(w, x.store, x.pool, x.updater, x.objects, x.options)
+	var seq uint64
+	if x.wal != nil {
+		seq = x.wal.LastSeq()
+	}
+	return saveSnapshot(w, x.store, x.pool, x.updater, x.objects, x.options, seq)
 }
 
 // SaveFile writes the index snapshot to a file.
@@ -155,12 +180,25 @@ func (x *Index) SaveFile(path string) error {
 // exclusively for the duration — the buffer flush and page dump must
 // not interleave with updates — so the snapshot is a quiescent point:
 // every operation that completed before Save returned is in it, none
-// that started after.
+// that started after. With durability enabled the checkpoint gate is
+// held too, so no operation is caught between applying and logging and
+// the embedded log sequence is exact.
 func (x *ConcurrentIndex) Save(w io.Writer) error {
+	x.ckpt.Lock()
+	defer x.ckpt.Unlock()
+	return x.saveLocked(w)
+}
+
+// saveLocked is Save with the checkpoint gate already held.
+func (x *ConcurrentIndex) saveLocked(w io.Writer) error {
+	var seq uint64
+	if x.wal != nil {
+		seq = x.wal.LastSeq()
+	}
 	return x.db.Exclusive(func(u core.Updater) error {
 		x.mu.RLock()
 		defer x.mu.RUnlock()
-		return saveSnapshot(w, x.store, x.pool, u, x.objects, x.options)
+		return saveSnapshot(w, x.store, x.pool, u, x.objects, x.options, seq)
 	})
 }
 
@@ -178,6 +216,14 @@ func (x *ConcurrentIndex) SaveFile(path string) error {
 func (x *ShardedIndex) Save(w io.Writer) error {
 	x.opMu.Lock()
 	defer x.opMu.Unlock()
+	return x.saveLocked(w)
+}
+
+// saveLocked is Save with the snapshot gate already held. The manifest
+// records each shard's object count next to its blob so a reader can
+// verify the two agree — a zero-count shard must decode as an empty
+// tree, not pass as a damaged blob.
+func (x *ShardedIndex) saveLocked(w io.Writer) error {
 	spec := x.router.Spec()
 	s := savedSharded{
 		Format:  shardedFormat,
@@ -188,6 +234,8 @@ func (x *ShardedIndex) Save(w io.Writer) error {
 		GridY:   spec.GridY,
 		Bounds:  spec.Bounds,
 		Blobs:   make([][]byte, len(x.shards)),
+		Counts:  make([]int, len(x.shards)),
+		WALSeq:  x.lsn.Load(),
 	}
 	for i, sh := range x.shards {
 		var buf bytes.Buffer
@@ -195,6 +243,7 @@ func (x *ShardedIndex) Save(w io.Writer) error {
 			return fmt.Errorf("burtree: save shard %d: %w", i, err)
 		}
 		s.Blobs[i] = buf.Bytes()
+		s.Counts[i] = sh.Len()
 	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(shardedMagic[:]); err != nil {
@@ -211,16 +260,44 @@ func (x *ShardedIndex) SaveFile(path string) error {
 	return saveToFile(path, x.Save)
 }
 
-func saveToFile(path string, save func(io.Writer) error) error {
-	f, err := os.Create(path)
+// saveToFile writes a snapshot atomically: the bytes go to a temp file
+// in the destination's directory, are fsynced, and only then renamed
+// over the destination. A failure at any point leaves the previous
+// snapshot intact and removes the temp file — the destination is never
+// truncated before its replacement is safely on disk.
+func saveToFile(path string, save func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	if err := save(f); err != nil {
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
+	if err = save(f); err != nil {
 		return err
 	}
-	return f.Close()
+	if err = f.Sync(); err != nil {
+		return err
+	}
+	if err = f.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return err
+	}
+	// Persist the rename itself; without this a crash can roll the
+	// directory entry back to the old snapshot (which is still fine) or
+	// to nothing on filesystems that reorder metadata.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
 }
 
 // readMagic consumes and returns the 8-byte envelope magic.
@@ -323,10 +400,11 @@ func buildFromSaved(s savedIndex) (indexParts, map[uint64]Point, error) {
 		objects = make(map[uint64]Point)
 	}
 	parts = indexParts{
-		store: store,
-		pool:  pool,
-		io:    io,
-		u:     u,
+		store:  store,
+		pool:   pool,
+		io:     io,
+		u:      u,
+		walSeq: s.WALSeq,
 		opts: Options{
 			Strategy:              s.Strategy,
 			PageSize:              s.PageSize,
@@ -356,7 +434,28 @@ func decodeSavedSharded(br *bufio.Reader) (savedSharded, error) {
 	if len(s.Blobs) != s.Shards {
 		return s, fmt.Errorf("%w: manifest declares %d shards but snapshot carries %d", ErrBadSnapshot, s.Shards, len(s.Blobs))
 	}
+	if s.Counts != nil && len(s.Counts) != s.Shards {
+		return s, fmt.Errorf("%w: manifest carries %d shard counts for %d shards", ErrBadSnapshot, len(s.Counts), s.Shards)
+	}
+	for i, c := range s.Counts {
+		if c < 0 {
+			return s, fmt.Errorf("%w: shard %d declares negative object count %d", ErrBadSnapshot, i, c)
+		}
+	}
 	return s, nil
+}
+
+// checkShardCount verifies one decoded shard blob against the
+// manifest's declared object count (skipped for pre-count snapshots,
+// whose manifests carry no Counts).
+func checkShardCount(s savedSharded, i, got int) error {
+	if s.Counts == nil {
+		return nil
+	}
+	if want := s.Counts[i]; got != want {
+		return fmt.Errorf("%w: shard %d blob holds %d objects, manifest declares %d", ErrBadSnapshot, i, got, want)
+	}
+	return nil
 }
 
 // mergedObjects collects the object tables of every shard blob without
@@ -375,6 +474,9 @@ func mergedObjects(s savedSharded) (map[uint64]Point, error) {
 		dec, err := decodeSavedIndex(br)
 		if err != nil {
 			return nil, fmt.Errorf("burtree: load shard %d: %w", i, err)
+		}
+		if err := checkShardCount(s, i, len(dec.Objects)); err != nil {
+			return nil, err
 		}
 		for id, p := range dec.Objects {
 			if _, dup := merged[id]; dup {
@@ -456,12 +558,17 @@ func Load(r io.Reader) (*Index, error) {
 				updater: parts.u,
 				objects: objects,
 				options: parts.opts,
+				walSeq:  parts.walSeq,
 			}
 			return nil
 		},
 		func(s savedSharded) error {
+			// Loaders are not log-aware: drop any durability config the
+			// manifest carried (Recover re-attaches logs explicitly).
+			o := s.Options
+			o.Durability = Durability{}
 			var err error
-			idx, err = Open(s.Options)
+			idx, err = Open(o)
 			if err != nil {
 				return err
 			}
@@ -500,12 +607,15 @@ func LoadConcurrent(r io.Reader) (*ConcurrentIndex, error) {
 				db:      concurrent.New(parts.u, 32),
 				objects: objects,
 				options: parts.opts,
+				walSeq:  parts.walSeq,
 			}
 			return nil
 		},
 		func(s savedSharded) error {
+			o := s.Options
+			o.Durability = Durability{}
 			var err error
-			idx, err = OpenConcurrent(s.Options)
+			idx, err = OpenConcurrent(o)
 			if err != nil {
 				return err
 			}
@@ -569,6 +679,9 @@ func LoadSharded(r io.Reader) (*ShardedIndex, error) {
 		if err != nil {
 			return nil, fmt.Errorf("burtree: load shard %d: %w", i, err)
 		}
+		if err := checkShardCount(s, i, len(ci.objects)); err != nil {
+			return nil, err
+		}
 		shards[i] = ci
 		for id, p := range ci.objects {
 			if _, dup := objects[id]; dup {
@@ -584,13 +697,17 @@ func LoadSharded(r io.Reader) (*ShardedIndex, error) {
 	if shard.Scheme(s.Scheme) == shard.HilbertRange {
 		scheme = ShardHilbert
 	}
-	return &ShardedIndex{
+	o := s.Options
+	o.Durability = Durability{} // loaders are not log-aware; see Recover
+	x := &ShardedIndex{
 		router:  router,
 		shards:  shards,
-		options: s.Options,
+		options: o,
 		sopts:   ShardOptions{Shards: s.Shards, Partition: scheme},
 		objects: objects,
-	}, nil
+		walSeq:  s.WALSeq,
+	}
+	return x, nil
 }
 
 // LoadShardedFile reads a sharded snapshot from a file.

@@ -3,11 +3,14 @@ package burtree
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"burtree/internal/shard"
+	"burtree/internal/wal"
 )
 
 // PartitionScheme selects how a ShardedIndex splits the data space.
@@ -85,10 +88,40 @@ type ShardedIndex struct {
 	// opMu is the snapshot gate: operations hold it shared for their
 	// whole duration, Save/BulkInsert/Flush hold it exclusively so they
 	// observe (and produce) a quiescent, globally consistent state.
+	// With durability enabled it doubles as the checkpoint gate: log
+	// appends happen inside the operation's shared hold, so an
+	// exclusive holder never catches an operation between applying and
+	// logging.
 	opMu sync.RWMutex
 
 	mu      sync.RWMutex
 	objects map[uint64]Point
+
+	// wals holds one write-ahead log per shard when durability is
+	// enabled (nil otherwise): commit streams share no fsync, lock or
+	// buffer — only the lsn counter, one atomic increment per record,
+	// which stitches the per-shard streams into a single total order
+	// for recovery. walSeq is the sequence the loaded snapshot covers.
+	wals   []*wal.Log
+	lsn    atomic.Uint64
+	walSeq uint64
+}
+
+// nextLSN hands out globally ordered record sequences to the per-shard
+// logs.
+func (x *ShardedIndex) nextLSN() uint64 { return x.lsn.Add(1) }
+
+// logTo records an acknowledged mutation in shard s's log, blocking
+// until durable under the configured sync policy. Caller holds opMu
+// shared. No-op when durability is off.
+func (x *ShardedIndex) logTo(s int, typ wal.Type, ops []wal.Op) error {
+	if x.wals == nil || len(ops) == 0 {
+		return nil
+	}
+	if _, err := x.wals[s].Append(typ, ops); err != nil {
+		return fmt.Errorf("burtree: durability: %w", err)
+	}
+	return nil
 }
 
 // OpenSharded creates an empty sharded index. The Options are totals for
@@ -96,6 +129,9 @@ type ShardedIndex struct {
 // evenly among the shards, so comparing shard counts compares equal
 // hardware.
 func OpenSharded(opts Options, sopts ShardOptions) (*ShardedIndex, error) {
+	if err := opts.Durability.validate(); err != nil {
+		return nil, err
+	}
 	sopts = sopts.withDefaults()
 	var router *shard.Router
 	var err error
@@ -112,18 +148,39 @@ func OpenSharded(opts Options, sopts ShardOptions) (*ShardedIndex, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ShardedIndex{
+	x := &ShardedIndex{
 		router:  router,
 		shards:  shards,
 		options: opts,
 		sopts:   sopts,
 		objects: make(map[uint64]Point),
-	}, nil
+	}
+	if d := opts.Durability; d.enabled() {
+		if err := checkFreshDir(d.Dir); err != nil {
+			return nil, err
+		}
+		x.wals = make([]*wal.Log, len(shards))
+		for i := range shards {
+			dir := shardLogDir(d.Dir, i)
+			if err := checkFreshDir(dir); err != nil {
+				return nil, err
+			}
+			log, err := wal.Open(dir, d.logOptions(0, x.nextLSN))
+			if err != nil {
+				return nil, err
+			}
+			x.wals[i] = log
+		}
+	}
+	return x, nil
 }
 
-// perShardOptions divides the index-wide budgets across n shards.
+// perShardOptions divides the index-wide budgets across n shards. The
+// shard indexes never log for themselves — the sharded front-end owns
+// the per-shard logs — so any durability config is stripped.
 func perShardOptions(opts Options, n int) Options {
 	per := opts
+	per.Durability = Durability{}
 	if per.ExpectedObjects == 0 {
 		per.ExpectedObjects = 1024
 	}
@@ -252,7 +309,63 @@ func (x *ShardedIndex) BulkInsert(ids []uint64, pts []Point, method PackMethod) 
 		}
 	}
 	x.objects = objects
+	// With durability on, the snapshot (not per-object log records) is
+	// the durable form of a bulk load — it also persists the router the
+	// Hilbert path just rebuilt, which recovery must route with.
+	if x.wals != nil {
+		return x.checkpointLocked()
+	}
 	return nil
+}
+
+// Checkpoint makes the whole index state durable in one snapshot and
+// truncates every shard's log: the sharded snapshot (manifest, router
+// spec and one blob per shard) is written atomically to the durability
+// directory, embedding the shared log sequence it covers. The whole
+// index is gated exclusively, so the snapshot is a globally quiescent
+// point. Requires durability to be enabled.
+func (x *ShardedIndex) Checkpoint() error {
+	x.opMu.Lock()
+	defer x.opMu.Unlock()
+	return x.checkpointLocked()
+}
+
+// checkpointLocked is Checkpoint with the snapshot gate already held.
+func (x *ShardedIndex) checkpointLocked() error {
+	if x.wals == nil {
+		return errors.New("burtree: Checkpoint requires durability to be enabled")
+	}
+	for _, l := range x.wals {
+		if err := l.Sync(); err != nil {
+			return err
+		}
+	}
+	seq := x.lsn.Load()
+	path := filepath.Join(x.options.Durability.Dir, snapshotFileName)
+	if err := saveToFile(path, x.saveLocked); err != nil {
+		return err
+	}
+	for _, l := range x.wals {
+		if err := l.TruncateThrough(seq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close syncs and closes every shard's write-ahead log (no-op without
+// durability). Reads keep working; further mutations fail their
+// durable append. Close does not checkpoint: recovery replays the logs
+// onto the last snapshot.
+func (x *ShardedIndex) Close() error {
+	if x.wals == nil {
+		return nil
+	}
+	var err error
+	for _, l := range x.wals {
+		err = errors.Join(err, l.Close())
+	}
+	return err
 }
 
 // Insert adds a new object at p, routed to the shard owning p.
@@ -266,7 +379,8 @@ func (x *ShardedIndex) Insert(id uint64, p Point) error {
 	}
 	x.objects[id] = p
 	x.mu.Unlock()
-	if err := x.shards[x.router.ShardOf(p)].Insert(id, p); err != nil {
+	s := x.router.ShardOf(p)
+	if err := x.shards[s].Insert(id, p); err != nil {
 		x.mu.Lock()
 		if cur, ok := x.objects[id]; ok && cur == p {
 			delete(x.objects, id)
@@ -274,7 +388,7 @@ func (x *ShardedIndex) Insert(id uint64, p Point) error {
 		x.mu.Unlock()
 		return err
 	}
-	return nil
+	return x.logTo(s, wal.TypeInsert, []wal.Op{{ID: id, X: p.X, Y: p.Y}})
 }
 
 // Update moves an existing object to p. A move within one shard runs
@@ -301,8 +415,11 @@ func (x *ShardedIndex) Update(id uint64, p Point) error {
 			x.objects[id] = old
 		}
 		x.mu.Unlock()
+		return err
 	}
-	return err
+	// The move is logged once, in the shard that now owns the object;
+	// replay re-routes it, re-deriving the cross-shard delete+insert.
+	return x.logTo(x.router.ShardOf(p), wal.TypeBatch, []wal.Op{{ID: id, X: p.X, Y: p.Y}})
 }
 
 // moveRouted applies one move against the shard trees: in-shard update
@@ -339,7 +456,8 @@ func (x *ShardedIndex) Delete(id uint64) error {
 	}
 	delete(x.objects, id)
 	x.mu.Unlock()
-	if err := x.shards[x.router.ShardOf(old)].Delete(id); err != nil {
+	s := x.router.ShardOf(old)
+	if err := x.shards[s].Delete(id); err != nil {
 		x.mu.Lock()
 		if _, ok := x.objects[id]; !ok {
 			x.objects[id] = old
@@ -347,7 +465,7 @@ func (x *ShardedIndex) Delete(id uint64) error {
 		x.mu.Unlock()
 		return err
 	}
-	return nil
+	return x.logTo(s, wal.TypeDelete, []wal.Op{{ID: id}})
 }
 
 // crossMove is one batch change that leaves its shard: a delete in src
@@ -451,14 +569,22 @@ func (x *ShardedIndex) UpdateBatch(changes []Change) (BatchResult, error) {
 			res.Fallback += br.Fallback
 			resMu.Unlock()
 			// Reconcile the global table with whatever prefix the shard
-			// applied (all of it when err == nil).
+			// applied (all of it when err == nil), collecting the applied
+			// changes for the shard's log record.
+			var applied []wal.Op
 			x.mu.Lock()
 			for _, c := range w.stay {
 				if p, ok := x.shards[s].Location(c.ID); ok {
 					x.objects[c.ID] = p
+					if x.wals != nil && p == c.To {
+						applied = append(applied, wal.Op{ID: c.ID, X: p.X, Y: p.Y})
+					}
 				}
 			}
 			x.mu.Unlock()
+			if werr := x.logTo(s, wal.TypeBatch, applied); werr != nil {
+				err = errors.Join(err, werr)
+			}
 			if err != nil {
 				errs[s] = err
 			}
@@ -478,6 +604,7 @@ func (x *ShardedIndex) UpdateBatch(changes []Change) (BatchResult, error) {
 		go func(s int, w *shardWork) {
 			defer wg.Done()
 			sort.Slice(w.ins, func(i, j int) bool { return w.ins[i].id < w.ins[j].id })
+			var arrived []wal.Op
 			for _, cm := range w.ins {
 				if !cm.departed {
 					continue
@@ -500,6 +627,14 @@ func (x *ShardedIndex) UpdateBatch(changes []Change) (BatchResult, error) {
 				res.Applied++
 				res.CrossShard++
 				resMu.Unlock()
+				if x.wals != nil {
+					arrived = append(arrived, wal.Op{ID: cm.id, X: cm.new.X, Y: cm.new.Y})
+				}
+			}
+			// One record covers this shard's arrivals; replay re-routes
+			// each move, re-deriving the cross-shard delete+insert.
+			if werr := x.logTo(s, wal.TypeBatch, arrived); werr != nil {
+				errs[s] = errors.Join(errs[s], werr)
 			}
 		}(s, w)
 	}
