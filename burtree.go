@@ -42,10 +42,12 @@ import (
 	"errors"
 	"fmt"
 	"path/filepath"
+	"time"
 
 	"burtree/internal/buffer"
 	"burtree/internal/core"
 	"burtree/internal/geom"
+	"burtree/internal/memtable"
 	"burtree/internal/pagestore"
 	"burtree/internal/rtree"
 	"burtree/internal/stats"
@@ -157,6 +159,12 @@ type Options struct {
 	// the index volatile (snapshots only); see Durability for the
 	// per-batch and group-commit modes, Checkpoint and Recover.
 	Durability Durability
+	// Memtable configures the in-memory delta tier: writes are absorbed
+	// into a memory buffer and acknowledged after the WAL append alone,
+	// with the tree pass deferred to a background merge-down. The zero
+	// value disables the tier; see the Memtable type for the ack, read
+	// and recovery semantics.
+	Memtable Memtable
 }
 
 // ErrUnknownObject reports an operation on an object id that is not in
@@ -179,6 +187,11 @@ type Index struct {
 	// otherwise); walSeq is the log sequence the loaded snapshot covers.
 	wal    *wal.Log
 	walSeq uint64
+
+	// mem is the in-memory delta tier when Options.Memtable is enabled
+	// (nil otherwise). The single-writer Index merges it down inline
+	// whenever a write trips the size or age threshold.
+	mem *memtable.Table
 }
 
 // indexParts is the machinery shared by Index and ConcurrentIndex: the
@@ -218,6 +231,7 @@ func openParts(opts Options) (indexParts, error) {
 	if lvl == 0 {
 		lvl = core.UnrestrictedLevels
 	}
+	opts.Memtable = opts.Memtable.withDefaults()
 	io := &stats.IO{}
 	store := pagestore.New(opts.PageSize, io)
 	pool := buffer.New(store, opts.BufferPages)
@@ -259,6 +273,7 @@ func Open(opts Options) (*Index, error) {
 		objects: make(map[uint64]Point),
 		options: parts.opts,
 	}
+	x.ensureMemtable(parts.opts.Memtable)
 	if d := opts.Durability; d.enabled() {
 		if err := checkFreshDir(d.Dir); err != nil {
 			return nil, err
@@ -343,6 +358,15 @@ func (x *Index) logAppend(typ wal.Type, ops []wal.Op) error {
 	if x.wal == nil || len(ops) == 0 {
 		return nil
 	}
+	if x.mem != nil {
+		// Memtable mode acknowledges at the log append alone: the
+		// background group-commit leader advances the durable horizon,
+		// and Checkpoint/Save/Close flush hard. See Options.Memtable.
+		if _, err := x.wal.AppendAsync(typ, ops); err != nil {
+			return fmt.Errorf("burtree: durability: %w", err)
+		}
+		return nil
+	}
 	if _, err := x.wal.Append(typ, ops); err != nil {
 		return fmt.Errorf("burtree: durability: %w", err)
 	}
@@ -369,21 +393,77 @@ func (x *Index) Checkpoint() error {
 	return x.wal.TruncateThrough(seq)
 }
 
-// Close syncs and closes the write-ahead log (no-op without
-// durability). The index itself stays usable for reads; further
-// mutations fail their durable append. Close does not checkpoint:
-// recovery replays the log onto the last snapshot.
+// Close merges any buffered deltas down to the tree, then syncs and
+// closes the write-ahead log (no-op without durability). The index
+// itself stays usable for reads; further mutations fail their durable
+// append. Close does not checkpoint: recovery replays the log onto the
+// last snapshot.
 func (x *Index) Close() error {
+	derr := x.drainMemtable()
 	if x.wal == nil {
+		return derr
+	}
+	return errors.Join(derr, x.wal.Close())
+}
+
+// ensureMemtable installs the delta tier from cfg; used at Open and
+// when recovery re-enables the tier on a loaded snapshot.
+func (x *Index) ensureMemtable(cfg Memtable) {
+	cfg = cfg.withDefaults()
+	x.options.Memtable = cfg
+	if cfg.Enabled && x.mem == nil {
+		x.mem = memtable.New(cfg.config())
+	}
+}
+
+// maybeMerge merges the delta tier down inline when a write tripped
+// its size or age threshold (the single-writer Index has no background
+// goroutine to hand the work to).
+func (x *Index) maybeMerge() error {
+	if x.mem != nil && x.mem.NeedsMerge(time.Now()) {
+		return x.drainMemtable()
+	}
+	return nil
+}
+
+// drainMemtable merges every buffered delta down to the tree. A
+// failure to apply an acknowledged delta is sticky — see
+// memtable.Table.Fail. No-op when the tier is disabled.
+func (x *Index) drainMemtable() error {
+	if x.mem == nil {
 		return nil
 	}
-	return x.wal.Close()
+	entries := x.mem.BeginDrain()
+	if entries == nil {
+		return x.mem.Err()
+	}
+	err := drainEntries(entries, x.updater.Delete, x.updater.Insert, func(chs []core.BatchChange) error {
+		_, err := core.ApplyBatch(x.updater, chs, func(core.BatchChange) {})
+		return err
+	}, 1)
+	if err != nil {
+		x.mem.Fail(err)
+		return fmt.Errorf("burtree: memtable merge: %w", err)
+	}
+	x.mem.EndDrain()
+	return nil
 }
 
 // Insert adds a new object at p.
 func (x *Index) Insert(id uint64, p Point) error {
 	if _, ok := x.objects[id]; ok {
 		return fmt.Errorf("%w: %d", ErrDuplicateObject, id)
+	}
+	if x.mem != nil {
+		if err := validatePoint(p); err != nil {
+			return err
+		}
+		x.mem.Insert(id, p)
+		x.objects[id] = p
+		if err := x.logAppend(wal.TypeInsert, []wal.Op{{ID: id, X: p.X, Y: p.Y}}); err != nil {
+			return err
+		}
+		return x.maybeMerge()
 	}
 	if err := x.updater.Insert(id, p); err != nil {
 		return err
@@ -399,6 +479,17 @@ func (x *Index) Update(id uint64, p Point) error {
 	old, ok := x.objects[id]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
+	}
+	if x.mem != nil {
+		if err := validatePoint(p); err != nil {
+			return err
+		}
+		x.mem.Update(id, p, old)
+		x.objects[id] = p
+		if err := x.logAppend(wal.TypeBatch, []wal.Op{{ID: id, X: p.X, Y: p.Y}}); err != nil {
+			return err
+		}
+		return x.maybeMerge()
 	}
 	if err := x.updater.Update(id, old, p); err != nil {
 		return err
@@ -441,6 +532,11 @@ type BatchResult struct {
 	// shards (ShardedIndex only: each is a delete in the source shard
 	// plus an insert in the destination).
 	CrossShard int
+	// Absorbed is the number of changes absorbed by the in-memory delta
+	// tier instead of being applied to the tree (memtable mode only;
+	// such changes count in Applied but in none of the tree-path
+	// counters, since their tree work happens at merge-down time).
+	Absorbed int
 }
 
 // coalesceChanges validates every id against lookup, then coalesces
@@ -486,6 +582,9 @@ func (x *Index) UpdateBatch(changes []Change) (BatchResult, error) {
 		return res, err
 	}
 	res.Coalesced = dropped
+	if x.mem != nil {
+		return x.absorbBatch(coalesced, res)
+	}
 	var applied []wal.Op
 	st, err := core.ApplyBatch(x.updater, coalesced, func(c core.BatchChange) {
 		x.objects[c.OID] = c.New
@@ -505,11 +604,43 @@ func (x *Index) UpdateBatch(changes []Change) (BatchResult, error) {
 	return res, err
 }
 
+// absorbBatch is the memtable-mode tail of UpdateBatch: the coalesced
+// changes are absorbed into the delta tier (atomically — no partial
+// batches at the ack level), logged as one record, and merged down
+// inline if the batch tripped the tier's threshold.
+func (x *Index) absorbBatch(coalesced []core.BatchChange, res BatchResult) (BatchResult, error) {
+	for _, c := range coalesced {
+		if err := validatePoint(c.New); err != nil {
+			return res, err
+		}
+	}
+	applied := make([]wal.Op, 0, len(coalesced))
+	for _, c := range coalesced {
+		x.mem.Update(c.OID, c.New, c.Old)
+		x.objects[c.OID] = c.New
+		applied = append(applied, wal.Op{ID: c.OID, X: c.New.X, Y: c.New.Y})
+	}
+	res.Applied = len(coalesced)
+	res.Absorbed = len(coalesced)
+	if err := x.logAppend(wal.TypeBatch, applied); err != nil {
+		return res, err
+	}
+	return res, x.maybeMerge()
+}
+
 // Delete removes an object.
 func (x *Index) Delete(id uint64) error {
 	old, ok := x.objects[id]
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrUnknownObject, id)
+	}
+	if x.mem != nil {
+		x.mem.Delete(id, old)
+		delete(x.objects, id)
+		if err := x.logAppend(wal.TypeDelete, []wal.Op{{ID: id}}); err != nil {
+			return err
+		}
+		return x.maybeMerge()
 	}
 	if err := x.updater.Delete(id, old); err != nil {
 		return err
@@ -538,8 +669,16 @@ func (x *Index) Search(q Rect) ([]uint64, error) {
 }
 
 // SearchFunc streams the objects inside q to visit; return false to stop
-// early.
+// early. With the delta tier enabled, buffered writes are merged into
+// the results (read-your-writes; tombstones mask deleted objects).
 func (x *Index) SearchFunc(q Rect, visit func(id uint64, p Point) bool) error {
+	if x.mem != nil {
+		if overlay := x.mem.Snapshot(); overlay != nil {
+			return overlaySearch(overlay, q, func(emit func(uint64, Rect) bool) error {
+				return x.updater.Search(q, emit)
+			}, visit)
+		}
+	}
 	return x.updater.Search(q, func(oid rtree.OID, r geom.Rect) bool {
 		return visit(oid, Point{X: r.MinX, Y: r.MinY})
 	})
@@ -561,6 +700,13 @@ type Neighbor struct {
 
 // Nearest returns the k objects nearest to p in increasing distance.
 func (x *Index) Nearest(p Point, k int) ([]Neighbor, error) {
+	if x.mem != nil {
+		if overlay := x.mem.Snapshot(); overlay != nil {
+			return overlayNearest(overlay, p, k, func(k int) ([]rtree.Neighbor, error) {
+				return x.updater.Nearest(p, k)
+			})
+		}
+	}
 	res, err := x.updater.Nearest(p, k)
 	if err != nil {
 		return nil, err
@@ -592,6 +738,10 @@ type Stats struct {
 	// Outcomes classifies how updates were resolved (bottom-up
 	// strategies; TopDown reports everything as TopDown).
 	Outcomes core.Outcomes
+
+	// Memtable reports the in-memory delta tier's counters (zero when
+	// Options.Memtable is disabled).
+	Memtable MemtableStats
 }
 
 // Stats returns a snapshot of the counters.
@@ -607,6 +757,7 @@ func (x *Index) Stats() Stats {
 		Pages:      x.store.NumPages(),
 		Size:       x.updater.Tree().Size(),
 		Outcomes:   x.updater.Outcomes(),
+		Memtable:   memStatsOf(x.mem),
 	}
 }
 
@@ -624,6 +775,9 @@ func (x *Index) CheckInvariants() error {
 	}
 	if err := x.updater.Tree().CheckInvariants(); err != nil {
 		return err
+	}
+	if x.mem != nil {
+		return checkMemOverlay(x.mem, x.objects, x.updater.Tree().Size())
 	}
 	if x.updater.Tree().Size() != len(x.objects) {
 		return fmt.Errorf("burtree: tree size %d != tracked objects %d", x.updater.Tree().Size(), len(x.objects))

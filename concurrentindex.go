@@ -10,7 +10,9 @@ import (
 	"burtree/internal/buffer"
 	"burtree/internal/concurrent"
 	"burtree/internal/core"
+	"burtree/internal/memtable"
 	"burtree/internal/pagestore"
+	"burtree/internal/rtree"
 	"burtree/internal/stats"
 	"burtree/internal/wal"
 )
@@ -49,6 +51,16 @@ type ConcurrentIndex struct {
 	ckpt   sync.RWMutex
 	wal    *wal.Log
 	walSeq uint64
+
+	// mem is the in-memory delta tier when Options.Memtable is enabled
+	// (nil otherwise); merge is the background merge-down loop draining
+	// it. mergeMu serializes drains (background, checkpoint-time and
+	// close-time), and is the outermost of the drain's locks: a drain
+	// never takes ckpt, so checkpoints (which hold ckpt exclusively and
+	// then drain) cannot deadlock against the background merger.
+	mem     *memtable.Table
+	mergeMu sync.Mutex
+	merge   *merger
 }
 
 // OpenConcurrent creates an empty concurrent index. With
@@ -71,6 +83,7 @@ func OpenConcurrent(opts Options) (*ConcurrentIndex, error) {
 		objects: make(map[uint64]Point),
 		options: parts.opts,
 	}
+	x.ensureMemtable(parts.opts.Memtable)
 	if d := opts.Durability; d.enabled() {
 		if err := checkFreshDir(d.Dir); err != nil {
 			return nil, err
@@ -89,6 +102,15 @@ func OpenConcurrent(opts Options) (*ConcurrentIndex, error) {
 // shared fsyncs in group-commit mode). Caller holds ckpt shared.
 func (x *ConcurrentIndex) logAppend(typ wal.Type, ops []wal.Op) error {
 	if x.wal == nil || len(ops) == 0 {
+		return nil
+	}
+	if x.mem != nil {
+		// Memtable mode acknowledges at the log append alone: the
+		// background group-commit leader advances the durable horizon,
+		// and Checkpoint/Save/Close flush hard. See Options.Memtable.
+		if _, err := x.wal.AppendAsync(typ, ops); err != nil {
+			return fmt.Errorf("burtree: durability: %w", err)
+		}
 		return nil
 	}
 	if _, err := x.wal.Append(typ, ops); err != nil {
@@ -156,21 +178,103 @@ func (x *ConcurrentIndex) Checkpoint() error {
 	return x.wal.TruncateThrough(seq)
 }
 
-// Close syncs and closes the write-ahead log (no-op without
-// durability). Reads keep working; further mutations fail their
-// durable append. Close does not checkpoint: recovery replays the log
-// onto the last snapshot.
+// Close stops the background merger and merges any buffered deltas
+// down to the tree, then syncs and closes the write-ahead log (no-op
+// without durability). Reads keep working; further mutations fail
+// their durable append. Close does not checkpoint: recovery replays
+// the log onto the last snapshot.
 func (x *ConcurrentIndex) Close() error {
+	if x.merge != nil {
+		x.merge.halt()
+	}
+	derr := x.drainMemtable()
 	if x.wal == nil {
+		return derr
+	}
+	return errors.Join(derr, x.wal.Close())
+}
+
+// ensureMemtable installs the delta tier from cfg and starts the
+// background merge-down loop; used at OpenConcurrent and when recovery
+// re-enables the tier on a loaded snapshot.
+func (x *ConcurrentIndex) ensureMemtable(cfg Memtable) {
+	cfg = cfg.withDefaults()
+	x.options.Memtable = cfg
+	if !cfg.Enabled {
+		return
+	}
+	if x.mem == nil {
+		x.mem = memtable.New(cfg.config())
+	}
+	if x.merge == nil {
+		x.merge = newMerger()
+		x.merge.done.Add(1)
+		go x.merge.run(cfg.MaxAge,
+			func() bool { return x.mem.NeedsMerge(time.Now()) },
+			func() { _ = x.drainMemtable() }) // failure is sticky; surfaces via CheckInvariants/Checkpoint
+	}
+}
+
+// signalMerge hands the background merger a pass when a write tripped
+// the tier's threshold. Never blocks the writer.
+func (x *ConcurrentIndex) signalMerge() {
+	if x.merge != nil && x.mem.NeedsMerge(time.Now()) {
+		x.merge.kick()
+	}
+}
+
+// drainMemtable merges every buffered delta down to the tree, splitting
+// the moves across Memtable.MergeParallelism concurrent group-apply
+// chunks. Serialized with other drains by mergeMu; a failure to apply
+// an acknowledged delta is sticky — see memtable.Table.Fail. No-op when
+// the tier is disabled.
+func (x *ConcurrentIndex) drainMemtable() error {
+	if x.mem == nil {
 		return nil
 	}
-	return x.wal.Close()
+	x.mergeMu.Lock()
+	defer x.mergeMu.Unlock()
+	entries := x.mem.BeginDrain()
+	if entries == nil {
+		return x.mem.Err()
+	}
+	err := drainEntries(entries, x.db.Delete, x.db.Insert, func(chs []core.BatchChange) error {
+		_, err := x.db.UpdateBatch(chs, func(core.BatchChange) {})
+		return err
+	}, x.options.Memtable.MergeParallelism)
+	if err != nil {
+		x.mem.Fail(err)
+		return fmt.Errorf("burtree: memtable merge: %w", err)
+	}
+	x.mem.EndDrain()
+	return nil
 }
 
 // Insert adds a new object at p.
 func (x *ConcurrentIndex) Insert(id uint64, p Point) error {
 	x.ckpt.RLock()
 	defer x.ckpt.RUnlock()
+	if x.mem != nil {
+		if err := validatePoint(p); err != nil {
+			return err
+		}
+		x.mu.Lock()
+		if _, ok := x.objects[id]; ok {
+			x.mu.Unlock()
+			return fmt.Errorf("%w: %d", ErrDuplicateObject, id)
+		}
+		// The object table and the delta tier transition together under
+		// the map lock, so racing writers to the same id absorb their
+		// deltas in the same order the table accepts them.
+		x.objects[id] = p
+		x.mem.Insert(id, p)
+		x.mu.Unlock()
+		if err := x.logAppend(wal.TypeInsert, []wal.Op{{ID: id, X: p.X, Y: p.Y}}); err != nil {
+			return err
+		}
+		x.signalMerge()
+		return nil
+	}
 	x.mu.Lock()
 	if _, ok := x.objects[id]; ok {
 		x.mu.Unlock()
@@ -204,6 +308,25 @@ func (x *ConcurrentIndex) Insert(id uint64, p Point) error {
 func (x *ConcurrentIndex) Update(id uint64, p Point) error {
 	x.ckpt.RLock()
 	defer x.ckpt.RUnlock()
+	if x.mem != nil {
+		if err := validatePoint(p); err != nil {
+			return err
+		}
+		x.mu.Lock()
+		old, ok := x.objects[id]
+		if !ok {
+			x.mu.Unlock()
+			return fmt.Errorf("%w: %d", ErrUnknownObject, id)
+		}
+		x.objects[id] = p
+		x.mem.Update(id, p, old)
+		x.mu.Unlock()
+		if err := x.logAppend(wal.TypeBatch, []wal.Op{{ID: id, X: p.X, Y: p.Y}}); err != nil {
+			return err
+		}
+		x.signalMerge()
+		return nil
+	}
 	x.mu.Lock()
 	old, ok := x.objects[id]
 	if !ok {
@@ -249,6 +372,9 @@ func (x *ConcurrentIndex) UpdateBatch(changes []Change) (BatchResult, error) {
 	x.ckpt.RLock()
 	defer x.ckpt.RUnlock()
 	var res BatchResult
+	if x.mem != nil {
+		return x.absorbBatch(changes, res)
+	}
 	x.mu.RLock()
 	coalesced, dropped, err := coalesceChanges(changes, func(id uint64) (Point, bool) {
 		p, ok := x.objects[id]
@@ -284,6 +410,22 @@ func (x *ConcurrentIndex) UpdateBatch(changes []Change) (BatchResult, error) {
 func (x *ConcurrentIndex) Delete(id uint64) error {
 	x.ckpt.RLock()
 	defer x.ckpt.RUnlock()
+	if x.mem != nil {
+		x.mu.Lock()
+		old, ok := x.objects[id]
+		if !ok {
+			x.mu.Unlock()
+			return fmt.Errorf("%w: %d", ErrUnknownObject, id)
+		}
+		delete(x.objects, id)
+		x.mem.Delete(id, old)
+		x.mu.Unlock()
+		if err := x.logAppend(wal.TypeDelete, []wal.Op{{ID: id}}); err != nil {
+			return err
+		}
+		x.signalMerge()
+		return nil
+	}
 	x.mu.Lock()
 	old, ok := x.objects[id]
 	if !ok {
@@ -306,6 +448,44 @@ func (x *ConcurrentIndex) Delete(id uint64) error {
 	return x.logAppend(wal.TypeDelete, []wal.Op{{ID: id}})
 }
 
+// absorbBatch is the memtable-mode tail of UpdateBatch: the batch is
+// coalesced and absorbed into the delta tier atomically under the map
+// lock — racing writers see either none or all of it at the ack level
+// — then logged as one record. Caller holds ckpt shared.
+func (x *ConcurrentIndex) absorbBatch(changes []Change, res BatchResult) (BatchResult, error) {
+	x.mu.Lock()
+	coalesced, dropped, err := coalesceChanges(changes, func(id uint64) (Point, bool) {
+		p, ok := x.objects[id]
+		return p, ok
+	})
+	if err == nil {
+		for _, c := range coalesced {
+			if err = validatePoint(c.New); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		x.mu.Unlock()
+		return res, err
+	}
+	applied := make([]wal.Op, 0, len(coalesced))
+	for _, c := range coalesced {
+		x.objects[c.OID] = c.New
+		x.mem.Update(c.OID, c.New, c.Old)
+		applied = append(applied, wal.Op{ID: c.OID, X: c.New.X, Y: c.New.Y})
+	}
+	x.mu.Unlock()
+	res.Coalesced = dropped
+	res.Applied = len(coalesced)
+	res.Absorbed = len(coalesced)
+	if err := x.logAppend(wal.TypeBatch, applied); err != nil {
+		return res, err
+	}
+	x.signalMerge()
+	return res, nil
+}
+
 // Search returns the ids of all objects inside the window q, under
 // shared granule locks covering the window (phantom-protected at
 // granule granularity).
@@ -323,14 +503,32 @@ func (x *ConcurrentIndex) Search(q Rect) ([]uint64, error) {
 // held: it must be fast and must not call back into the index, or
 // updates to the locked region stall behind it.
 func (x *ConcurrentIndex) SearchFunc(q Rect, visit func(id uint64, p Point) bool) error {
+	if x.mem != nil {
+		// The overlay snapshot is taken before the tree scan: a merge
+		// completing in between leaves its objects masked in the scan and
+		// reported from the overlay, never missed (see overlaySearch). The
+		// overlay portion of the results streams after the tree's shared
+		// locks are released.
+		if overlay := x.mem.Snapshot(); overlay != nil {
+			return overlaySearch(overlay, q, func(emit func(uint64, Rect) bool) error {
+				return x.db.Search(q, emit)
+			}, visit)
+		}
+	}
 	return x.db.Search(q, func(oid uint64, r Rect) bool {
 		return visit(oid, Point{X: r.MinX, Y: r.MinY})
 	})
 }
 
 // Count returns the number of objects inside q under shared granule
-// locks (phantom-protected at granule granularity).
+// locks (phantom-protected at granule granularity). With the delta
+// tier enabled, buffered writes count through the overlay.
 func (x *ConcurrentIndex) Count(q Rect) (int, error) {
+	if x.mem != nil && x.mem.Len() > 0 {
+		n := 0
+		err := x.SearchFunc(q, func(uint64, Point) bool { n++; return true })
+		return n, err
+	}
 	return x.db.Query(q)
 }
 
@@ -339,6 +537,13 @@ func (x *ConcurrentIndex) Count(q Rect) (int, error) {
 // holds the whole-tree granule shared: it runs in parallel with other
 // reads but excludes updates for its duration.
 func (x *ConcurrentIndex) Nearest(p Point, k int) ([]Neighbor, error) {
+	if x.mem != nil {
+		if overlay := x.mem.Snapshot(); overlay != nil {
+			return overlayNearest(overlay, p, k, func(k int) ([]rtree.Neighbor, error) {
+				return x.db.Nearest(p, k)
+			})
+		}
+	}
 	res, err := x.db.Nearest(p, k)
 	if err != nil {
 		return nil, err
@@ -385,6 +590,7 @@ func (x *ConcurrentIndex) Stats() (Stats, ConcurrencyStats) {
 			Pages:      x.store.NumPages(),
 			Size:       u.Tree().Size(),
 			Outcomes:   u.Outcomes(),
+			Memtable:   memStatsOf(x.mem),
 		}
 	})
 	return st, x.db.Stats()
@@ -406,6 +612,13 @@ func (x *ConcurrentIndex) Flush() error {
 // ensure no updates are in flight: the tree/object-table size comparison
 // is only meaningful at a quiescent point.
 func (x *ConcurrentIndex) CheckInvariants() error {
+	// Holding mergeMu excludes drains for the duration, so the delta
+	// overlay and the tree are compared at a point where no generation
+	// is half-applied.
+	if x.mem != nil {
+		x.mergeMu.Lock()
+		defer x.mergeMu.Unlock()
+	}
 	var err error
 	x.db.View(func(u core.Updater) {
 		if err = u.Err(); err != nil {
@@ -416,6 +629,10 @@ func (x *ConcurrentIndex) CheckInvariants() error {
 		}
 		x.mu.RLock()
 		defer x.mu.RUnlock()
+		if x.mem != nil {
+			err = checkMemOverlay(x.mem, x.objects, u.Tree().Size())
+			return
+		}
 		if u.Tree().Size() != len(x.objects) {
 			err = fmt.Errorf("burtree: tree size %d != tracked objects %d", u.Tree().Size(), len(x.objects))
 		}

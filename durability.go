@@ -289,6 +289,10 @@ func Recover(opts Options) (*Index, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Like Durability, the delta tier is the caller's runtime choice,
+	// not snapshot state: re-enable it (if asked for) before the replay,
+	// so the log tail is absorbed exactly as the pre-crash writes were.
+	idx.ensureMemtable(opts.Memtable)
 	log, err := recoverTail(d, idx, idx.walSeq)
 	if err != nil {
 		return nil, err
@@ -312,6 +316,7 @@ func RecoverConcurrent(opts Options) (*ConcurrentIndex, error) {
 	if err != nil {
 		return nil, err
 	}
+	idx.ensureMemtable(opts.Memtable)
 	log, err := recoverTail(d, idx, idx.walSeq)
 	if err != nil {
 		return nil, err
@@ -368,6 +373,11 @@ func RecoverSharded(opts Options, sopts ShardOptions) (*ShardedIndex, error) {
 				ErrRecovery, filepath.Dir(seg), len(x.shards))
 		}
 	}
+
+	// Re-enable the per-shard delta tiers (the caller's runtime choice,
+	// as with Durability) before the replay, so the log tails are
+	// absorbed exactly as the pre-crash writes were.
+	x.ensureMemtable(opts.Memtable)
 
 	var all []wal.Record
 	maxSeq := x.walSeq

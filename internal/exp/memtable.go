@@ -1,0 +1,109 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"burtree"
+)
+
+// The memtable experiment measures what the in-memory delta tier buys
+// on top of group commit: batched update throughput and mean
+// acknowledgement latency on a durable ConcurrentIndex, swept against
+// the number of concurrent committer goroutines and the tier's size
+// budget. Without the tier, a committer holds its ack until both the
+// log sync and the bottom-up tree pass have completed, so the tree's
+// exclusive latching serializes committers between syncs; with the
+// tier, the ack needs only the log append — the tree work drains in
+// the background through the batched bottom-up path — so group syncs
+// carry more committers and the ack latency collapses toward the
+// device sync time.
+
+// memtableSizes is the tier-budget sweep (MaxObjects).
+var memtableSizes = []int{1024, 4096, 16384}
+
+// memtableTier is the delta-tier configuration for one sweep row.
+func memtableTier(size int) burtree.Memtable {
+	return burtree.Memtable{
+		Enabled:          true,
+		MaxObjects:       size,
+		MaxAge:           10 * time.Millisecond,
+		MergeParallelism: 2,
+	}
+}
+
+// bundleMemtable runs the tier-size × goroutine-count sweep against
+// the volatile and group-commit baselines (the wal experiment's rows)
+// and adds the memtable-over-group-commit speedup and the mean ack
+// latencies per column.
+func bundleMemtable(s Scale, seed int64) (map[string]*Table, error) {
+	cols := make([]string, len(walWorkerCounts))
+	for i, w := range walWorkerCounts {
+		cols[i] = fmt.Sprintf("g=%d", w)
+	}
+	t := &Table{
+		ID:      "memtable",
+		Title:   "Memtable delta tier: durable update throughput (updates/s) vs tier size x goroutines",
+		XLabel:  "committer goroutines",
+		YLabel:  "updates/s (batched updates, group commit, simulated 2ms device sync)",
+		Columns: cols,
+	}
+	runRow := func(mode burtree.DurabilityMode, mem burtree.Memtable) ([]float64, []float64, error) {
+		var tput, ack []float64
+		for _, workers := range walWorkerCounts {
+			res, err := RunWalSweep(WalSweepConfig{
+				Mode:       mode,
+				Workers:    workers,
+				NumObjects: s.Objects,
+				Updates:    s.Ops * 2,
+				BatchSize:  16,
+				SyncDelay:  2 * time.Millisecond,
+				MaxDist:    0.03 * lengthScale(s),
+				Seed:       seed,
+				Memtable:   mem,
+			})
+			if err != nil {
+				return nil, nil, fmt.Errorf("workers=%d: %w", workers, err)
+			}
+			tput = append(tput, res.UpdatesPerSec)
+			ack = append(ack, float64(res.AckMean.Microseconds()))
+		}
+		return tput, ack, nil
+	}
+
+	volatileRow, _, err := runRow(burtree.DurabilityOff, burtree.Memtable{})
+	if err != nil {
+		return nil, fmt.Errorf("off (volatile): %w", err)
+	}
+	t.AddRow("off (volatile)", volatileRow)
+
+	groupRow, groupAck, err := runRow(burtree.DurabilityGroup, burtree.Memtable{})
+	if err != nil {
+		return nil, fmt.Errorf("group commit w=0: %w", err)
+	}
+	t.AddRow("group commit w=0", groupRow)
+
+	memRows := make(map[int][]float64, len(memtableSizes))
+	memAcks := make(map[int][]float64, len(memtableSizes))
+	for _, size := range memtableSizes {
+		label := fmt.Sprintf("memtable %d + group commit", size)
+		row, ack, err := runRow(burtree.DurabilityGroup, memtableTier(size))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", label, err)
+		}
+		memRows[size], memAcks[size] = row, ack
+		t.AddRow(label, row)
+	}
+
+	const refSize = 4096
+	speedup := make([]float64, len(groupRow))
+	for i := range groupRow {
+		if groupRow[i] > 0 {
+			speedup[i] = memRows[refSize][i] / groupRow[i]
+		}
+	}
+	t.AddRow("memtable 4096 / group commit speedup", speedup)
+	t.AddRow("ack latency us, group commit w=0", groupAck)
+	t.AddRow(fmt.Sprintf("ack latency us, memtable %d", refSize), memAcks[refSize])
+	return map[string]*Table{"memtable": t}, nil
+}

@@ -1,0 +1,69 @@
+package exp
+
+import (
+	"testing"
+	"time"
+
+	"burtree"
+)
+
+// A tiny memtable sweep cell must complete, produce throughput, and
+// report an ack latency.
+func TestRunMemtableSweepSmoke(t *testing.T) {
+	r, err := RunWalSweep(WalSweepConfig{
+		Mode:       burtree.DurabilityGroup,
+		Workers:    4,
+		NumObjects: 1000,
+		Updates:    320,
+		BatchSize:  8,
+		SyncDelay:  50 * time.Microsecond,
+		MaxDist:    0.05,
+		Seed:       1,
+		Memtable:   memtableTier(256),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Updates < 320 || r.UpdatesPerSec <= 0 || r.AckMean <= 0 {
+		t.Fatalf("degenerate result %+v", r)
+	}
+}
+
+// The delta tier must beat plain group commit decisively at high
+// committer counts: without it every ack waits for the tree pass under
+// exclusive latches, with it the ack needs the log append alone. The
+// bound asserted here (1.5x at 16 goroutines) is deliberately below
+// what the sweep measures (see BENCH_memtable.json), so the test is
+// robust to slow CI machines.
+func TestMemtableBeatsGroupCommit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput comparison; run without -short")
+	}
+	run := func(mem burtree.Memtable) WalSweepResult {
+		t.Helper()
+		r, err := RunWalSweep(WalSweepConfig{
+			Mode:       burtree.DurabilityGroup,
+			Workers:    16,
+			NumObjects: 4000,
+			Updates:    4000,
+			BatchSize:  16,
+			SyncDelay:  2 * time.Millisecond,
+			MaxDist:    0.03,
+			Seed:       1,
+			Memtable:   mem,
+		})
+		if err != nil {
+			t.Fatalf("memtable=%v: %v", mem.Enabled, err)
+		}
+		return r
+	}
+	base := run(burtree.Memtable{})
+	mem := run(memtableTier(4096))
+	if mem.UpdatesPerSec < 1.5*base.UpdatesPerSec {
+		t.Fatalf("memtable %.0f updates/s vs group commit %.0f: expected >= 1.5x",
+			mem.UpdatesPerSec, base.UpdatesPerSec)
+	}
+	t.Logf("group commit %.0f updates/s (ack %v), memtable %.0f updates/s (ack %v, %.1fx)",
+		base.UpdatesPerSec, base.AckMean, mem.UpdatesPerSec, mem.AckMean,
+		mem.UpdatesPerSec/base.UpdatesPerSec)
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"burtree"
@@ -38,6 +39,10 @@ type WalSweepConfig struct {
 	SyncDelay   time.Duration
 	MaxDist     float64
 	Seed        int64
+	// Memtable fronts the index with the in-memory delta tier: batches
+	// are acknowledged after the log append alone and merged down to
+	// the tree in the background (the memtable experiment).
+	Memtable burtree.Memtable
 }
 
 // WalSweepResult is one cell's outcome.
@@ -45,6 +50,10 @@ type WalSweepResult struct {
 	UpdatesPerSec float64
 	Elapsed       time.Duration
 	Updates       int
+	// AckMean is the mean latency of one UpdateBatch call — the time
+	// from submission to durable acknowledgement, including any group
+	// commit wait and (without a memtable) the tree work.
+	AckMean time.Duration
 }
 
 // RunWalSweep builds a GBU ConcurrentIndex with the configured
@@ -59,6 +68,7 @@ func RunWalSweep(cfg WalSweepConfig) (WalSweepResult, error) {
 	opts := burtree.Options{
 		Strategy:        burtree.GeneralizedBottomUp,
 		ExpectedObjects: cfg.NumObjects,
+		Memtable:        cfg.Memtable,
 	}
 	if cfg.Mode != burtree.DurabilityOff {
 		dir, err := os.MkdirTemp("", "burtree-wal-exp-*")
@@ -102,6 +112,7 @@ func RunWalSweep(cfg WalSweepConfig) (WalSweepResult, error) {
 	}
 	var mu sync.Mutex
 	total := 0
+	var ackNanos, ackCalls atomic.Int64
 	errCh := make(chan error, workers)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -127,11 +138,14 @@ func RunWalSweep(cfg WalSweepConfig) (WalSweepResult, error) {
 					positions[oid] = np
 					batch = append(batch, burtree.Change{ID: uint64(oid), To: burtree.Point(np)})
 				}
+				t0 := time.Now()
 				br, err := idx.UpdateBatch(batch)
 				if err != nil {
 					errCh <- err
 					return
 				}
+				ackNanos.Add(time.Since(t0).Nanoseconds())
+				ackCalls.Add(1)
 				done += br.Applied
 				mu.Lock()
 				total += br.Applied
@@ -151,6 +165,9 @@ func RunWalSweep(cfg WalSweepConfig) (WalSweepResult, error) {
 	}
 	res.Updates = total
 	res.UpdatesPerSec = float64(total) / res.Elapsed.Seconds()
+	if calls := ackCalls.Load(); calls > 0 {
+		res.AckMean = time.Duration(ackNanos.Load() / calls)
+	}
 	return res, nil
 }
 

@@ -1,0 +1,314 @@
+// Package memtable implements the in-memory delta tier that fronts the
+// disk-resident R-tree: an LSM-style leaf-delta buffer keyed by object
+// id, holding each object's latest absorbed position (or a tombstone)
+// until a background merge drains it down to the tree through the
+// batched bottom-up update path.
+//
+// The tier exists to decouple the durable acknowledgement of an update
+// from the tree pass it eventually costs: with a write-ahead log in
+// front, an update is durable as soon as its record is synced, so the
+// index can ack after the log append alone and absorb the tree work
+// here — the design of the update-intensive LSM-based R-tree follow-up
+// work, with the buffer-tree amortization argument backing it.
+//
+// A Table holds two generations:
+//
+//   - the mutable table, which absorbs writes;
+//   - the draining table (non-nil only while a merge is applying),
+//     whose entries are mid-flight into the tree.
+//
+// Readers overlay both generations on top of the tree (mutable wins
+// over draining wins over tree), and the drain only discards the
+// draining generation after every entry has been applied, so a reader
+// that snapshots the overlay before scanning the tree observes each
+// object exactly once no matter how a concurrent merge interleaves.
+//
+// Each entry records, besides the object's latest position, what the
+// tree will hold for that object once all earlier generations have
+// merged (InTree/Base): that is exactly the information the merge
+// needs to turn the entry into a bottom-up tree operation — an insert
+// for objects the tree has never seen, a Base→Pos move for objects it
+// has, a delete-at-Base for tombstones.
+package memtable
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"burtree/internal/geom"
+)
+
+// Config bounds the tier.
+type Config struct {
+	// MaxObjects is the entry count at which the table asks for a
+	// merge-down.
+	MaxObjects int
+	// MaxAge bounds how long an absorbed update may stay memory-only
+	// before a merge is requested; zero disables the age trigger.
+	MaxAge time.Duration
+}
+
+// Entry is one buffered delta: the latest absorbed state of one object
+// relative to the tree.
+type Entry struct {
+	// ID names the object.
+	ID uint64
+	// Pos is the object's latest absorbed position (meaningless when
+	// Tombstone is set).
+	Pos geom.Point
+	// InTree reports whether the tree holds this object once every
+	// earlier generation has merged; Base is its position there. The
+	// merge turns the entry into Update(Base→Pos) when InTree, and into
+	// Insert(Pos) otherwise.
+	InTree bool
+	Base   geom.Point
+	// Tombstone marks a deleted object the tree still holds (at Base);
+	// the merge deletes it. Deltas for objects the tree never saw are
+	// simply dropped, so a stored tombstone always has InTree set.
+	Tombstone bool
+}
+
+// Stats is a snapshot of the tier's counters.
+type Stats struct {
+	// Entries is the current number of buffered deltas (mutable plus
+	// draining generation).
+	Entries int
+	// Absorbed counts write operations absorbed since creation.
+	Absorbed int64
+	// Merges counts completed merge-downs.
+	Merges int64
+	// Merged counts entries merged down to the tree.
+	Merged int64
+}
+
+// Table is the delta tier. All methods are safe for concurrent use; the
+// drain protocol (BeginDrain → apply → EndDrain) is serialized by the
+// caller (the front-ends hold a merge mutex across it).
+type Table struct {
+	mu  sync.Mutex
+	cfg Config
+
+	mut    map[uint64]Entry
+	flush  map[uint64]Entry // non-nil only while a drain is applying
+	oldest time.Time        // arrival time of the mutable generation's first entry
+
+	absorbed int64
+	merges   int64
+	merged   int64
+	err      error // sticky merge failure; see Fail
+}
+
+// New returns an empty table.
+func New(cfg Config) *Table {
+	return &Table{cfg: cfg, mut: make(map[uint64]Entry)}
+}
+
+// treeState reports what the tree will hold for id once every earlier
+// generation has merged, given the entry chain visible now (caller
+// holds t.mu). With no entry anywhere, the caller's current-position
+// table is authoritative: a live object without deltas lives in the
+// tree at its current position.
+func (t *Table) treeState(id uint64, cur geom.Point, haveCur bool) (inTree bool, base geom.Point) {
+	if e, ok := t.flush[id]; ok {
+		if e.Tombstone {
+			return false, geom.Point{}
+		}
+		return true, e.Pos
+	}
+	if haveCur {
+		return true, cur
+	}
+	return false, geom.Point{}
+}
+
+// touch stamps the mutable generation's age clock.
+func (t *Table) touch() {
+	if len(t.mut) == 0 {
+		t.oldest = time.Now()
+	}
+}
+
+// Insert absorbs the insertion of a fresh object at p. The caller has
+// already established that no live object with this id exists.
+func (t *Table) Insert(id uint64, p geom.Point) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.absorbed++
+	t.touch()
+	if e, ok := t.mut[id]; ok {
+		// A pending tombstone: the tree still holds the object, so the
+		// re-insert becomes a move of the tree-resident copy.
+		t.mut[id] = Entry{ID: id, Pos: p, InTree: e.InTree, Base: e.Base}
+		return
+	}
+	inTree, base := t.treeState(id, geom.Point{}, false)
+	t.mut[id] = Entry{ID: id, Pos: p, InTree: inTree, Base: base}
+}
+
+// Update absorbs a move of a live object to p; cur is the object's
+// current position from the caller's object table (the tree's position
+// when no delta is buffered).
+func (t *Table) Update(id uint64, p, cur geom.Point) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.absorbed++
+	t.touch()
+	if e, ok := t.mut[id]; ok && !e.Tombstone {
+		e.Pos = p
+		t.mut[id] = e
+		return
+	}
+	inTree, base := t.treeState(id, cur, true)
+	t.mut[id] = Entry{ID: id, Pos: p, InTree: inTree, Base: base}
+}
+
+// Delete absorbs the removal of a live object; cur is its current
+// position, as for Update. Deltas for objects the tree never saw
+// cancel outright; tree-resident objects leave a tombstone for the
+// merge to delete.
+func (t *Table) Delete(id uint64, cur geom.Point) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.absorbed++
+	t.touch()
+	if e, ok := t.mut[id]; ok {
+		if !e.InTree {
+			delete(t.mut, id)
+			return
+		}
+		t.mut[id] = Entry{ID: id, InTree: true, Base: e.Base, Tombstone: true}
+		return
+	}
+	inTree, base := t.treeState(id, cur, true)
+	if !inTree {
+		// Only possible while the draining generation holds a tombstone
+		// for id and the object was re-inserted and re-deleted since:
+		// the tree copy is already condemned, nothing more to buffer.
+		return
+	}
+	t.mut[id] = Entry{ID: id, InTree: true, Base: base, Tombstone: true}
+}
+
+// Get returns the buffered delta for id, newest generation first.
+func (t *Table) Get(id uint64) (Entry, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if e, ok := t.mut[id]; ok {
+		return e, true
+	}
+	e, ok := t.flush[id]
+	return e, ok
+}
+
+// Len returns the number of buffered deltas across both generations
+// (an object mid-drain with a fresh mutable delta counts twice; the
+// value is an upper bound on the number of distinct buffered ids,
+// which is what read-path sizing needs).
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.mut) + len(t.flush)
+}
+
+// NeedsMerge reports whether the mutable generation has tripped the
+// size or age threshold.
+func (t *Table) NeedsMerge(now time.Time) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return false // merging is stuck; see Fail
+	}
+	if len(t.mut) == 0 {
+		return false
+	}
+	if t.cfg.MaxObjects > 0 && len(t.mut) >= t.cfg.MaxObjects {
+		return true
+	}
+	return t.cfg.MaxAge > 0 && now.Sub(t.oldest) >= t.cfg.MaxAge
+}
+
+// BeginDrain promotes the mutable generation to draining and returns
+// its entries sorted by id, or nil when there is nothing to drain, a
+// drain is already in flight, or a previous drain failed. The entries
+// stay visible to readers (via Snapshot/Get) until EndDrain.
+func (t *Table) BeginDrain() []Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.flush != nil || len(t.mut) == 0 || t.err != nil {
+		return nil
+	}
+	t.flush = t.mut
+	t.mut = make(map[uint64]Entry)
+	out := make([]Entry, 0, len(t.flush))
+	for _, e := range t.flush {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// EndDrain discards the draining generation after every entry has been
+// applied to the tree.
+func (t *Table) EndDrain() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.merges++
+	t.merged += int64(len(t.flush))
+	t.flush = nil
+}
+
+// Fail records a merge failure. The draining generation is retained —
+// its entries were only partially applied, and re-deriving their tree
+// base state is not possible — so reads stay correct through the
+// overlay while all further merging stops; the error surfaces through
+// Err on every invariant check and checkpoint. A merge failure
+// indicates a bug (an acknowledged operation must apply cleanly), not
+// a user error.
+func (t *Table) Fail(err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err == nil {
+		t.err = err
+	}
+}
+
+// Err returns the sticky merge failure, if any.
+func (t *Table) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// Snapshot returns the current overlay: every buffered delta, mutable
+// generation winning over draining. Read paths take the snapshot
+// before scanning the tree; because a drain discards its generation
+// only after fully applying it, every object is observed exactly once
+// regardless of how a concurrent merge interleaves with the scan.
+func (t *Table) Snapshot() map[uint64]Entry {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.mut) == 0 && len(t.flush) == 0 {
+		return nil
+	}
+	out := make(map[uint64]Entry, len(t.mut)+len(t.flush))
+	for id, e := range t.flush {
+		out[id] = e
+	}
+	for id, e := range t.mut {
+		out[id] = e
+	}
+	return out
+}
+
+// Stats returns a snapshot of the counters.
+func (t *Table) Stats() Stats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return Stats{
+		Entries:  len(t.mut) + len(t.flush),
+		Absorbed: t.absorbed,
+		Merges:   t.merges,
+		Merged:   t.merged,
+	}
+}

@@ -1,0 +1,195 @@
+package memtable
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"burtree/internal/geom"
+)
+
+func pt(x, y float64) geom.Point { return geom.Point{X: x, Y: y} }
+
+// TestEntryTransitions walks the delta state machine for a single
+// object through every documented transition.
+func TestEntryTransitions(t *testing.T) {
+	tb := New(Config{MaxObjects: 100})
+
+	// Fresh insert: not in tree.
+	tb.Insert(1, pt(1, 1))
+	e, ok := tb.Get(1)
+	if !ok || e.InTree || e.Tombstone || e.Pos != pt(1, 1) {
+		t.Fatalf("after insert: %+v ok=%v", e, ok)
+	}
+
+	// Update of a buffered live entry rewrites Pos only.
+	tb.Update(1, pt(2, 2), pt(1, 1))
+	e, _ = tb.Get(1)
+	if e.InTree || e.Pos != pt(2, 2) {
+		t.Fatalf("after update: %+v", e)
+	}
+
+	// Delete of a never-in-tree entry cancels outright.
+	tb.Delete(1, pt(2, 2))
+	if _, ok := tb.Get(1); ok {
+		t.Fatal("delete of pending insert should cancel the entry")
+	}
+
+	// Update of a tree-resident object (no buffered delta): cur is
+	// authoritative.
+	tb.Update(7, pt(5, 5), pt(4, 4))
+	e, _ = tb.Get(7)
+	if !e.InTree || e.Base != pt(4, 4) || e.Pos != pt(5, 5) {
+		t.Fatalf("update of tree object: %+v", e)
+	}
+
+	// Delete of that entry leaves a tombstone at the original base.
+	tb.Delete(7, pt(5, 5))
+	e, _ = tb.Get(7)
+	if !e.Tombstone || !e.InTree || e.Base != pt(4, 4) {
+		t.Fatalf("tombstone: %+v", e)
+	}
+
+	// Re-insert over a pending tombstone: the tree-resident copy is
+	// revived as a move.
+	tb.Insert(7, pt(6, 6))
+	e, _ = tb.Get(7)
+	if e.Tombstone || !e.InTree || e.Base != pt(4, 4) || e.Pos != pt(6, 6) {
+		t.Fatalf("revive: %+v", e)
+	}
+}
+
+// TestDrainLifecycle checks BeginDrain/EndDrain bookkeeping and the
+// two-generation overlay.
+func TestDrainLifecycle(t *testing.T) {
+	tb := New(Config{MaxObjects: 100})
+	tb.Insert(3, pt(3, 3))
+	tb.Update(1, pt(1, 1), pt(0, 0))
+	tb.Delete(2, pt(2, 2))
+
+	entries := tb.BeginDrain()
+	if len(entries) != 3 {
+		t.Fatalf("drain entries = %d, want 3", len(entries))
+	}
+	for i := 1; i < len(entries); i++ {
+		if entries[i-1].ID >= entries[i].ID {
+			t.Fatalf("entries not sorted by id: %+v", entries)
+		}
+	}
+	// A second BeginDrain while one is in flight returns nil.
+	if tb.BeginDrain() != nil {
+		t.Fatal("nested BeginDrain should return nil")
+	}
+	// Draining entries stay visible.
+	if e, ok := tb.Get(2); !ok || !e.Tombstone {
+		t.Fatalf("draining tombstone invisible: %+v ok=%v", e, ok)
+	}
+	if tb.Len() != 3 {
+		t.Fatalf("Len=%d during drain, want 3", tb.Len())
+	}
+
+	// A write landing mid-drain goes to the new mutable generation and
+	// shadows the draining entry; its base comes from the draining
+	// entry's post-merge state.
+	tb.Update(1, pt(9, 9), pt(1, 1))
+	e, _ := tb.Get(1)
+	if !e.InTree || e.Base != pt(1, 1) || e.Pos != pt(9, 9) {
+		t.Fatalf("mid-drain update: %+v", e)
+	}
+	snap := tb.Snapshot()
+	if snap[1].Pos != pt(9, 9) {
+		t.Fatalf("snapshot should prefer mutable generation: %+v", snap[1])
+	}
+	if len(snap) != 3 {
+		t.Fatalf("snapshot size = %d, want 3", len(snap))
+	}
+
+	// Insert over a draining tombstone: the tree copy is still
+	// condemned post-merge, so the new entry is a fresh insert.
+	tb.Insert(2, pt(8, 8))
+	e, _ = tb.Get(2)
+	if e.InTree || e.Tombstone {
+		t.Fatalf("insert over draining tombstone: %+v", e)
+	}
+	// And deleting it again cancels; the draining tombstone already
+	// condemns the tree copy.
+	tb.Delete(2, pt(8, 8))
+	if e, _ := tb.Get(2); !e.Tombstone {
+		t.Fatalf("draining tombstone should show through: %+v", e)
+	}
+
+	tb.EndDrain()
+	st := tb.Stats()
+	if st.Merges != 1 || st.Merged != 3 {
+		t.Fatalf("stats after drain: %+v", st)
+	}
+	// Only id 1 survives in the new mutable generation: id 2's
+	// insert+delete cancelled, id 3 drained.
+	if tb.Len() != 1 {
+		t.Fatalf("Len=%d after drain, want 1", tb.Len())
+	}
+}
+
+func TestNeedsMerge(t *testing.T) {
+	tb := New(Config{MaxObjects: 2})
+	now := time.Now()
+	if tb.NeedsMerge(now) {
+		t.Fatal("empty table should not need a merge")
+	}
+	tb.Insert(1, pt(1, 1))
+	if tb.NeedsMerge(now) {
+		t.Fatal("below size threshold")
+	}
+	tb.Insert(2, pt(2, 2))
+	if !tb.NeedsMerge(now) {
+		t.Fatal("size threshold tripped")
+	}
+
+	aged := New(Config{MaxObjects: 100, MaxAge: time.Millisecond})
+	aged.Insert(1, pt(1, 1))
+	if aged.NeedsMerge(time.Now()) {
+		t.Fatal("age threshold should not trip immediately")
+	}
+	if !aged.NeedsMerge(time.Now().Add(10 * time.Millisecond)) {
+		t.Fatal("age threshold should trip")
+	}
+}
+
+func TestFailIsSticky(t *testing.T) {
+	tb := New(Config{MaxObjects: 1})
+	tb.Insert(1, pt(1, 1))
+	entries := tb.BeginDrain()
+	if len(entries) != 1 {
+		t.Fatalf("drain = %v", entries)
+	}
+	sentinel := errors.New("apply failed")
+	tb.Fail(sentinel)
+	tb.Fail(errors.New("later")) // first error wins
+	if !errors.Is(tb.Err(), sentinel) {
+		t.Fatalf("Err = %v", tb.Err())
+	}
+	// The draining generation is retained for reads...
+	if _, ok := tb.Get(1); !ok {
+		t.Fatal("failed drain should keep entries visible")
+	}
+	// ...and all further merging stops.
+	tb.Insert(2, pt(2, 2))
+	if tb.NeedsMerge(time.Now()) {
+		t.Fatal("NeedsMerge after Fail")
+	}
+	if tb.BeginDrain() != nil {
+		t.Fatal("BeginDrain after Fail")
+	}
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	tb := New(Config{MaxObjects: 4})
+	if tb.Snapshot() != nil {
+		t.Fatal("empty table should snapshot to nil")
+	}
+	tb.Insert(1, pt(1, 1))
+	tb.Delete(1, pt(1, 1))
+	if tb.Snapshot() != nil {
+		t.Fatal("cancelled delta should leave table empty")
+	}
+}

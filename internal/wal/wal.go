@@ -382,9 +382,68 @@ const maxOpsPerRecord = (maxRecordBody - 13) / 24
 // policy. The last assigned sequence number is returned.
 func (l *Log) Append(typ Type, ops []Op) (uint64, error) {
 	l.mu.Lock()
-	if l.closed {
+	seq, target, err := l.appendLocked(typ, ops)
+	if err != nil {
 		l.mu.Unlock()
-		return 0, ErrClosed
+		return 0, err
+	}
+
+	if l.opts.Sync == SyncEach {
+		err := l.f.Sync()
+		if err == nil {
+			simulateSync(l.opts.SyncDelay)
+		}
+		err = l.finishSync(target, err)
+		l.mu.Unlock()
+		return seq, err
+	}
+	l.mu.Unlock()
+	return seq, l.waitSynced(target)
+}
+
+// AppendAsync logs the ops like Append but does not wait for the bytes
+// to reach disk under SyncGroup: it returns as soon as the record is in
+// the OS buffer, after nudging a background group-commit leader that
+// advances the durable horizon at the device's pace. The caller's
+// durability window is therefore one group-sync cycle. Under SyncEach
+// it is identical to Append — every record is synced before the call
+// returns — so per-record-durability configurations keep their
+// acked-implies-durable guarantee.
+func (l *Log) AppendAsync(typ Type, ops []Op) (uint64, error) {
+	l.mu.Lock()
+	seq, target, err := l.appendLocked(typ, ops)
+	if err != nil {
+		l.mu.Unlock()
+		return 0, err
+	}
+
+	if l.opts.Sync == SyncEach {
+		err := l.f.Sync()
+		if err == nil {
+			simulateSync(l.opts.SyncDelay)
+		}
+		err = l.finishSync(target, err)
+		l.mu.Unlock()
+		return seq, err
+	}
+	l.mu.Unlock()
+	l.kickSync()
+	// Surface a poisoned log (earlier sync failure) rather than silently
+	// accepting writes that can never become durable.
+	g := &l.gc
+	g.mu.Lock()
+	err = g.err
+	g.mu.Unlock()
+	return seq, err
+}
+
+// appendLocked encodes and writes the ops, splitting into adjacent
+// records as needed. Caller holds l.mu in all cases; on success the
+// last assigned sequence number and the post-append logical extent are
+// returned.
+func (l *Log) appendLocked(typ Type, ops []Op) (uint64, int64, error) {
+	if l.closed {
+		return 0, 0, ErrClosed
 	}
 	var seq uint64
 	rest := ops
@@ -402,8 +461,7 @@ func (l *Log) Append(typ Type, ops []Op) (uint64, error) {
 		l.buf = encodeRecord(l.buf, seq, typ, chunk)
 		if l.segSize > headerSize && l.segSize+int64(len(l.buf)) > l.opts.SegmentBytes {
 			if err := l.rotateLocked(); err != nil {
-				l.mu.Unlock()
-				return 0, err
+				return 0, 0, err
 			}
 		}
 		if _, err := l.f.Write(l.buf); err != nil {
@@ -416,8 +474,7 @@ func (l *Log) Append(typ Type, ops []Op) (uint64, error) {
 			if terr := l.rollbackTailLocked(); terr != nil {
 				l.finishSync(0, fmt.Errorf("append failed (%v) and tail rollback failed: %w", err, terr))
 			}
-			l.mu.Unlock()
-			return 0, fmt.Errorf("wal: append: %w", err)
+			return 0, 0, fmt.Errorf("wal: append: %w", err)
 		}
 		l.segSize += int64(len(l.buf))
 		l.appended += int64(len(l.buf))
@@ -426,19 +483,7 @@ func (l *Log) Append(typ Type, ops []Op) (uint64, error) {
 			break
 		}
 	}
-	target := l.appended
-
-	if l.opts.Sync == SyncEach {
-		err := l.f.Sync()
-		if err == nil {
-			simulateSync(l.opts.SyncDelay)
-		}
-		err = l.finishSync(target, err)
-		l.mu.Unlock()
-		return seq, err
-	}
-	l.mu.Unlock()
-	return seq, l.waitSynced(target)
+	return seq, l.appended, nil
 }
 
 // waitSynced blocks until the log is durably synced through target
@@ -454,31 +499,7 @@ func (l *Log) waitSynced(target int64) error {
 		g.syncing = true
 		g.mu.Unlock()
 
-		if w := l.opts.GroupWindow; w > 0 {
-			time.Sleep(w) // accumulate followers
-		}
-		l.mu.Lock()
-		f := l.f
-		covered := l.appended
-		closed := l.closed
-		l.mu.Unlock()
-		var err error
-		if !closed {
-			err = f.Sync()
-			if err == nil {
-				simulateSync(l.opts.SyncDelay)
-			} else if errors.Is(err, os.ErrClosed) {
-				// Rotation or Close took the file between our snapshot of
-				// l.f and the fsync. Both fsync everything before closing,
-				// so the bytes covered here (appended before our snapshot,
-				// hence in that file) are already durable. os.File.Sync on
-				// a closed handle is guarded internally — it never touches
-				// a reused descriptor.
-				err = nil
-			}
-		}
-
-		l.finishSync(covered, err)
+		l.syncRound()
 		g.mu.Lock()
 		g.syncing = false
 		g.cond.Broadcast()
@@ -486,6 +507,77 @@ func (l *Log) waitSynced(target int64) error {
 	err := g.err
 	g.mu.Unlock()
 	return err
+}
+
+// syncRound is one group-commit sync: wait the accumulation window,
+// snapshot the appended extent, fsync, and publish the new durable
+// horizon. Caller holds the gc.syncing leadership flag (not the
+// mutexes).
+func (l *Log) syncRound() {
+	if w := l.opts.GroupWindow; w > 0 {
+		time.Sleep(w) // accumulate followers
+	}
+	l.mu.Lock()
+	f := l.f
+	covered := l.appended
+	closed := l.closed
+	l.mu.Unlock()
+	var err error
+	if !closed {
+		err = f.Sync()
+		if err == nil {
+			simulateSync(l.opts.SyncDelay)
+		} else if errors.Is(err, os.ErrClosed) {
+			// Rotation or Close took the file between our snapshot of
+			// l.f and the fsync. Both fsync everything before closing,
+			// so the bytes covered here (appended before our snapshot,
+			// hence in that file) are already durable. os.File.Sync on
+			// a closed handle is guarded internally — it never touches
+			// a reused descriptor.
+			err = nil
+		}
+	}
+	l.finishSync(covered, err)
+}
+
+// kickSync starts a background group-commit leader unless a sync is
+// already in flight. The leader keeps issuing rounds until the durable
+// horizon covers every appended byte, so asynchronous appends are
+// synced at the device's natural cadence without any committer
+// blocking.
+func (l *Log) kickSync() {
+	g := &l.gc
+	g.mu.Lock()
+	if g.err != nil || g.syncing {
+		g.mu.Unlock()
+		return
+	}
+	g.syncing = true
+	g.mu.Unlock()
+	go func() {
+		for {
+			l.syncRound()
+			// Exit check with both locks nested (l.mu before gc.mu, the
+			// order finishSync already establishes): holding l.mu pins
+			// appended, so an append that lands after our read will find
+			// syncing == false when it kicks, and starts a new leader
+			// rather than being stranded behind a stale exit decision.
+			l.mu.Lock()
+			appended := l.appended
+			closed := l.closed
+			g.mu.Lock()
+			done := g.err != nil || closed || g.syncedTo >= appended
+			if done {
+				g.syncing = false
+			}
+			g.cond.Broadcast() // wake waiters the last round covered
+			g.mu.Unlock()
+			l.mu.Unlock()
+			if done {
+				return
+			}
+		}
+	}()
 }
 
 // Sync forces everything appended so far to disk.

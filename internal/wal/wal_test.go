@@ -392,3 +392,128 @@ func TestEncodeDecodeRecordFraming(t *testing.T) {
 		}
 	}
 }
+
+// AppendAsync under group commit must return without waiting for the
+// device sync, while the background leader still advances the durable
+// horizon over everything appended.
+func TestAppendAsyncGroupDoesNotBlock(t *testing.T) {
+	dir := t.TempDir()
+	const devSync = 50 * time.Millisecond
+	l, err := Open(dir, Options{Sync: SyncGroup, SyncDelay: devSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if _, err := l.AppendAsync(TypeBatch, []Op{{ID: uint64(i), X: 1, Y: 2}}); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	elapsed := time.Since(start)
+	// 20 synchronous appends would cost >= 20 device syncs (1s); async
+	// acks must not stack them. A generous bound still proves the point.
+	if elapsed > 5*devSync {
+		t.Fatalf("%d async appends took %v (device sync %v): acks are waiting for syncs", n, elapsed, devSync)
+	}
+	// The background leader must cover every appended byte without any
+	// caller blocking on it.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		l.mu.Lock()
+		appended := l.appended
+		l.mu.Unlock()
+		l.gc.mu.Lock()
+		synced := l.gc.syncedTo
+		l.gc.mu.Unlock()
+		if synced >= appended {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("durable horizon stuck at %d of %d appended bytes", synced, appended)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	recs, st, err := ReadDir(dir, 0)
+	if err != nil || st.Damaged {
+		t.Fatalf("read: %v damaged=%v", err, st.Damaged)
+	}
+	if len(recs) != n {
+		t.Fatalf("got %d records, want %d", len(recs), n)
+	}
+}
+
+// Under SyncEach, AppendAsync keeps the per-record durability contract:
+// the record is synced before the call returns, identical to Append.
+func TestAppendAsyncSyncEachIsSynchronous(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncEach})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := l.AppendAsync(TypeBatch, []Op{{ID: uint64(i), X: 1, Y: 2}}); err != nil {
+			t.Fatal(err)
+		}
+		l.mu.Lock()
+		appended := l.appended
+		l.mu.Unlock()
+		l.gc.mu.Lock()
+		synced := l.gc.syncedTo
+		l.gc.mu.Unlock()
+		if synced < appended {
+			t.Fatalf("after append %d: synced %d < appended %d", i, synced, appended)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Synchronous waiters must not be starved by a stream of asynchronous
+// appends: Append called concurrently with AppendAsync traffic returns
+// once its own record is covered.
+func TestAppendAsyncMixedWithSyncWaiters(t *testing.T) {
+	dir := t.TempDir()
+	l, err := Open(dir, Options{Sync: SyncGroup, GroupWindow: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var asyncErr atomic.Value
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := l.AppendAsync(TypeBatch, []Op{{ID: uint64(1000 + i), X: 1, Y: 2}}); err != nil {
+				asyncErr.Store(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 25; i++ {
+		if _, err := l.Append(TypeBatch, []Op{{ID: uint64(i), X: 3, Y: 4}}); err != nil {
+			t.Fatalf("sync append %d: %v", i, err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if v := asyncErr.Load(); v != nil {
+		t.Fatal(v)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, st, err := ReadDir(dir, 0); err != nil || st.Damaged {
+		t.Fatalf("read: %v damaged=%v", err, st.Damaged)
+	}
+}

@@ -1,0 +1,341 @@
+package burtree
+
+// This file wires the in-memory delta tier (internal/memtable) into the
+// index front-ends: the Memtable options block, the drain that merges
+// absorbed deltas down to the tree through the batched bottom-up
+// pipeline, and the overlay read helpers that make buffered deltas
+// visible to Search/Count/Nearest before they reach the tree.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"burtree/internal/core"
+	"burtree/internal/geom"
+	"burtree/internal/memtable"
+	"burtree/internal/rtree"
+)
+
+// Memtable configures the in-memory delta tier. When enabled, write
+// operations are absorbed into a per-index (per-shard, on
+// ShardedIndex) memory buffer and acknowledged after the write-ahead
+// log append alone — the tree pass they eventually cost is deferred to
+// a merge-down that drains the buffer through the batched bottom-up
+// UpdateBatch pipeline. Merges run when the buffer trips the size or
+// age threshold (in background on ConcurrentIndex and ShardedIndex,
+// inline on the single-writer Index) and synchronously on Checkpoint,
+// Save and Close, so snapshots never depend on buffer contents.
+//
+// Acknowledgement durability depends on the Durability mode. Under
+// DurabilityBatch every log record is fsynced before the call returns,
+// so acknowledged always means durable, exactly as without the tier.
+// Under DurabilityGroup the tier acknowledges as soon as the record is
+// appended, without waiting for the covering group sync: a background
+// sync leader keeps the durable horizon advancing at the device's
+// natural cadence, so the loss window on an OS or power crash is one
+// group-sync cycle (process crashes lose nothing — the appended bytes
+// are in the OS buffer). Checkpoint, Save and Close flush the log
+// hard, so a clean shutdown or snapshot never leaves an acknowledged
+// write at risk. A sync failure poisons the log and surfaces on the
+// next write or flush.
+//
+// Reads remain read-your-writes: Search, SearchFunc, Count and Nearest
+// overlay the buffered deltas on the tree results — the buffer wins
+// per object and tombstones mask deleted objects — so an acknowledged
+// write is immediately visible. Recovery replays the WAL tail into the
+// buffer, so crash safety is exactly the write-ahead log's: everything
+// the log retained is replayed, whether or not it was merged down
+// before the crash.
+type Memtable struct {
+	// Enabled turns the tier on.
+	Enabled bool
+	// MaxObjects is the buffered-delta count that triggers a merge-down
+	// (default 4096). ShardedIndex divides the budget across shards.
+	MaxObjects int
+	// MaxAge bounds how long an absorbed update may stay memory-only
+	// before a merge is triggered; zero (the default) disables the age
+	// trigger, so only MaxObjects schedules merges.
+	MaxAge time.Duration
+	// MergeParallelism is the number of concurrent UpdateBatch chunks a
+	// merge-down splits its moves into (default 1). Only ConcurrentIndex
+	// and ShardedIndex exploit it; the single-writer Index merges
+	// sequentially.
+	MergeParallelism int
+}
+
+// withDefaults normalizes the configuration; a disabled tier
+// normalizes to the zero value.
+func (m Memtable) withDefaults() Memtable {
+	if !m.Enabled {
+		return Memtable{}
+	}
+	if m.MaxObjects <= 0 {
+		m.MaxObjects = 4096
+	}
+	if m.MergeParallelism <= 0 {
+		m.MergeParallelism = 1
+	}
+	return m
+}
+
+func (m Memtable) config() memtable.Config {
+	return memtable.Config{MaxObjects: m.MaxObjects, MaxAge: m.MaxAge}
+}
+
+// MemtableStats reports the delta tier's counters (zero when the tier
+// is disabled).
+type MemtableStats struct {
+	// Entries is the current number of buffered deltas.
+	Entries int
+	// Absorbed counts write operations absorbed by the tier.
+	Absorbed int64
+	// Merges counts completed merge-downs.
+	Merges int64
+	// Merged counts deltas merged down to the tree.
+	Merged int64
+}
+
+func memStatsOf(t *memtable.Table) MemtableStats {
+	if t == nil {
+		return MemtableStats{}
+	}
+	s := t.Stats()
+	return MemtableStats{Entries: s.Entries, Absorbed: s.Absorbed, Merges: s.Merges, Merged: s.Merged}
+}
+
+func (s MemtableStats) add(o MemtableStats) MemtableStats {
+	return MemtableStats{
+		Entries:  s.Entries + o.Entries,
+		Absorbed: s.Absorbed + o.Absorbed,
+		Merges:   s.Merges + o.Merges,
+		Merged:   s.Merged + o.Merged,
+	}
+}
+
+// validatePoint rejects coordinates the tree would reject at merge
+// time. The tier acknowledges writes before the tree sees them, so the
+// check the tree performs on insertion must run at the ack boundary.
+func validatePoint(p Point) error {
+	if p.X != p.X || p.Y != p.Y {
+		return fmt.Errorf("burtree: invalid position (%v, %v)", p.X, p.Y)
+	}
+	return nil
+}
+
+// drainEntries applies one drained generation to the tree: tombstones
+// as bottom-up deletes, tree-resident moves through the batched
+// group-apply pipeline (split across parallelism concurrent chunks —
+// entry ids are distinct, so chunks touch disjoint objects and the
+// granule locks order any region overlap), and never-inserted objects
+// as inserts. The order matters only across categories: within one
+// generation each id appears once.
+func drainEntries(entries []memtable.Entry, del, ins func(id uint64, p Point) error, batch func([]core.BatchChange) error, parallelism int) error {
+	var moves []core.BatchChange
+	for _, e := range entries {
+		switch {
+		case e.Tombstone:
+			if err := del(e.ID, e.Base); err != nil {
+				return err
+			}
+		case e.InTree:
+			moves = append(moves, core.BatchChange{OID: e.ID, Old: e.Base, New: e.Pos})
+		}
+	}
+	if len(moves) > 0 {
+		if parallelism <= 1 || len(moves) < 2*parallelism {
+			if err := batch(moves); err != nil {
+				return err
+			}
+		} else {
+			chunk := (len(moves) + parallelism - 1) / parallelism
+			errs := make([]error, parallelism)
+			var wg sync.WaitGroup
+			for i := 0; i < parallelism; i++ {
+				lo, hi := i*chunk, (i+1)*chunk
+				if hi > len(moves) {
+					hi = len(moves)
+				}
+				if lo >= hi {
+					break
+				}
+				wg.Add(1)
+				go func(i int, part []core.BatchChange) {
+					defer wg.Done()
+					errs[i] = batch(part)
+				}(i, moves[lo:hi])
+			}
+			wg.Wait()
+			if err := errors.Join(errs...); err != nil {
+				return err
+			}
+		}
+	}
+	for _, e := range entries {
+		if !e.Tombstone && !e.InTree {
+			if err := ins(e.ID, e.Pos); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// overlaySearch answers a window query with the delta overlay applied:
+// tree hits for buffered objects are masked (the overlay's version of
+// the object wins, whether moved or deleted), then the live overlay
+// entries inside the window are streamed. The overlay snapshot must be
+// taken before the tree scan starts: a merge that completes in between
+// then costs at most a masked duplicate, never a missed object.
+func overlaySearch(overlay map[uint64]memtable.Entry, q Rect, scan func(emit func(oid uint64, r Rect) bool) error, visit func(id uint64, p Point) bool) error {
+	stopped := false
+	err := scan(func(oid uint64, r Rect) bool {
+		if _, masked := overlay[oid]; masked {
+			return true
+		}
+		if !visit(oid, Point{X: r.MinX, Y: r.MinY}) {
+			stopped = true
+			return false
+		}
+		return true
+	})
+	if err != nil || stopped {
+		return err
+	}
+	for _, e := range overlay {
+		if e.Tombstone || !q.ContainsPoint(e.Pos) {
+			continue
+		}
+		if !visit(e.ID, e.Pos) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// overlayNearest answers a k-NN query with the delta overlay applied.
+// The tree is asked for k+len(overlay) neighbours: at most len(overlay)
+// of them can be masked, so at least k unmasked survivors remain
+// whenever the index holds k reachable objects. Overlay distances use
+// the same degenerate-rectangle metric as the tree, so merged profiles
+// are bitwise identical to an overlay-free index.
+func overlayNearest(overlay map[uint64]memtable.Entry, p Point, k int, treeK func(k int) ([]rtree.Neighbor, error)) ([]Neighbor, error) {
+	res, err := treeK(k + len(overlay))
+	if err != nil {
+		return nil, err
+	}
+	base := make([]Neighbor, 0, k)
+	for _, n := range res {
+		if _, masked := overlay[n.OID]; masked {
+			continue
+		}
+		base = append(base, Neighbor{ID: n.OID, Location: Point{X: n.Rect.MinX, Y: n.Rect.MinY}, Dist: n.Dist})
+		if len(base) == k {
+			break
+		}
+	}
+	extra := make([]Neighbor, 0, len(overlay))
+	for _, e := range overlay {
+		if e.Tombstone {
+			continue
+		}
+		extra = append(extra, Neighbor{ID: e.ID, Location: e.Pos, Dist: geom.RectFromPoint(e.Pos).MinDistPoint(p)})
+	}
+	return mergeNeighbors(base, extra, k), nil
+}
+
+// checkMemOverlay validates the delta tier against the object table
+// and the tree at a quiescent point (no write or drain in flight): a
+// previous merge failure is fatal, every live delta matches the
+// tracked position, tombstones have no tracked object, and the tree
+// size accounts for deltas not yet merged down.
+func checkMemOverlay(mem *memtable.Table, objects map[uint64]Point, treeSize int) error {
+	if err := mem.Err(); err != nil {
+		return err
+	}
+	pendingInserts, tombstones := 0, 0
+	for id, e := range mem.Snapshot() {
+		if e.Tombstone {
+			tombstones++
+			if _, ok := objects[id]; ok {
+				return fmt.Errorf("burtree: memtable tombstone for live object %d", id)
+			}
+			continue
+		}
+		p, ok := objects[id]
+		if !ok {
+			return fmt.Errorf("burtree: memtable entry for unknown object %d", id)
+		}
+		if p != e.Pos {
+			return fmt.Errorf("burtree: memtable position %v != tracked %v for object %d", e.Pos, p, id)
+		}
+		if !e.InTree {
+			pendingInserts++
+		}
+	}
+	want := len(objects) - pendingInserts + tombstones
+	if treeSize != want {
+		return fmt.Errorf("burtree: tree size %d != expected %d (%d objects, %d pending inserts, %d tombstones)",
+			treeSize, want, len(objects), pendingInserts, tombstones)
+	}
+	return nil
+}
+
+// merger is the background merge-down loop a ConcurrentIndex (and each
+// ShardedIndex shard) runs while its memtable is enabled.
+type merger struct {
+	trigger chan struct{}
+	stop    chan struct{}
+	done    sync.WaitGroup
+	once    sync.Once
+}
+
+func newMerger() *merger {
+	return &merger{trigger: make(chan struct{}, 1), stop: make(chan struct{})}
+}
+
+// kick requests a merge pass without blocking the writer.
+func (m *merger) kick() {
+	select {
+	case m.trigger <- struct{}{}:
+	default:
+	}
+}
+
+// halt stops the loop and waits for an in-flight pass to finish.
+// Idempotent.
+func (m *merger) halt() {
+	m.once.Do(func() {
+		close(m.stop)
+		m.done.Wait()
+	})
+}
+
+// run executes drain() whenever kicked — and on a timer when the age
+// trigger is configured, since an aging half-full buffer generates no
+// further kicks — until halted.
+func (m *merger) run(maxAge time.Duration, need func() bool, drain func()) {
+	defer m.done.Done()
+	var tickC <-chan time.Time
+	if maxAge > 0 {
+		iv := maxAge / 4
+		if iv < time.Millisecond {
+			iv = time.Millisecond
+		}
+		t := time.NewTicker(iv)
+		defer t.Stop()
+		tickC = t.C
+	}
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-m.trigger:
+		case <-tickC:
+		}
+		if need() {
+			drain()
+		}
+	}
+}

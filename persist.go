@@ -159,11 +159,15 @@ func saveSnapshot(w io.Writer, store *pagestore.Store, pool *buffer.Pool, u core
 }
 
 // Save serializes the complete index — pages, structural metadata and
-// the object table — to w. The buffer pool is flushed first, so the
-// snapshot is self-consistent. With durability enabled the snapshot
-// embeds the log sequence it covers, so it can serve as a recovery
-// base.
+// the object table — to w. Buffered delta-tier entries are merged down
+// first and the buffer pool is flushed, so the snapshot is
+// self-consistent and never depends on memtable contents. With
+// durability enabled the snapshot embeds the log sequence it covers,
+// so it can serve as a recovery base.
 func (x *Index) Save(w io.Writer) error {
+	if err := x.drainMemtable(); err != nil {
+		return err
+	}
 	var seq uint64
 	if x.wal != nil {
 		seq = x.wal.LastSeq()
@@ -189,8 +193,15 @@ func (x *ConcurrentIndex) Save(w io.Writer) error {
 	return x.saveLocked(w)
 }
 
-// saveLocked is Save with the checkpoint gate already held.
+// saveLocked is Save with the checkpoint gate already held. The delta
+// tier is merged down first — under the gate no writer can refill it,
+// so the snapshot captures every acknowledged operation in the tree
+// and a subsequent log truncation (Checkpoint) cannot drop records
+// whose effects lived only in the memtable.
 func (x *ConcurrentIndex) saveLocked(w io.Writer) error {
+	if err := x.drainMemtable(); err != nil {
+		return err
+	}
 	var seq uint64
 	if x.wal != nil {
 		seq = x.wal.LastSeq()
@@ -563,10 +574,12 @@ func Load(r io.Reader) (*Index, error) {
 			return nil
 		},
 		func(s savedSharded) error {
-			// Loaders are not log-aware: drop any durability config the
-			// manifest carried (Recover re-attaches logs explicitly).
+			// Loaders are not log- or memtable-aware: drop any durability
+			// or delta-tier config the manifest carried (Recover re-attaches
+			// logs and re-enables the tier explicitly).
 			o := s.Options
 			o.Durability = Durability{}
+			o.Memtable = Memtable{}
 			var err error
 			idx, err = Open(o)
 			if err != nil {
@@ -614,6 +627,7 @@ func LoadConcurrent(r io.Reader) (*ConcurrentIndex, error) {
 		func(s savedSharded) error {
 			o := s.Options
 			o.Durability = Durability{}
+			o.Memtable = Memtable{}
 			var err error
 			idx, err = OpenConcurrent(o)
 			if err != nil {
@@ -698,7 +712,9 @@ func LoadSharded(r io.Reader) (*ShardedIndex, error) {
 		scheme = ShardHilbert
 	}
 	o := s.Options
-	o.Durability = Durability{} // loaders are not log-aware; see Recover
+	// Loaders are not log- or memtable-aware; see Recover.
+	o.Durability = Durability{}
+	o.Memtable = Memtable{}
 	x := &ShardedIndex{
 		router:  router,
 		shards:  shards,

@@ -118,6 +118,15 @@ func (x *ShardedIndex) logTo(s int, typ wal.Type, ops []wal.Op) error {
 	if x.wals == nil || len(ops) == 0 {
 		return nil
 	}
+	if x.shards[s].mem != nil {
+		// Memtable mode acknowledges at the log append alone: the
+		// background group-commit leader advances the durable horizon,
+		// and Checkpoint/Save/Close flush hard. See Options.Memtable.
+		if _, err := x.wals[s].AppendAsync(typ, ops); err != nil {
+			return fmt.Errorf("burtree: durability: %w", err)
+		}
+		return nil
+	}
 	if _, err := x.wals[s].Append(typ, ops); err != nil {
 		return fmt.Errorf("burtree: durability: %w", err)
 	}
@@ -177,10 +186,21 @@ func OpenSharded(opts Options, sopts ShardOptions) (*ShardedIndex, error) {
 
 // perShardOptions divides the index-wide budgets across n shards. The
 // shard indexes never log for themselves — the sharded front-end owns
-// the per-shard logs — so any durability config is stripped.
+// the per-shard logs — so any durability config is stripped. The
+// memtable budget, by contrast, is divided, not stripped: the delta
+// tier is per shard (each shard absorbs and merges its own deltas
+// independently), which is what keeps merge-down traffic as parallel
+// as the write traffic.
 func perShardOptions(opts Options, n int) Options {
 	per := opts
 	per.Durability = Durability{}
+	if per.Memtable.Enabled {
+		per.Memtable = per.Memtable.withDefaults()
+		per.Memtable.MaxObjects = per.Memtable.MaxObjects / n
+		if per.Memtable.MaxObjects < 16 {
+			per.Memtable.MaxObjects = 16
+		}
+	}
 	if per.ExpectedObjects == 0 {
 		per.ExpectedObjects = 1024
 	}
@@ -301,8 +321,12 @@ func (x *ShardedIndex) BulkInsert(ids []uint64, pts []Point, method PackMethod) 
 		if err != nil {
 			// A shard failed mid-load while others succeeded. Rebuild every
 			// shard empty so the index returns to its pre-call state and a
-			// corrected retry is possible.
+			// corrected retry is possible. The replaced shards are closed
+			// first so their background mergers do not leak.
 			if fresh, rerr := openShards(x.options, len(x.shards)); rerr == nil {
+				for _, s := range x.shards {
+					_ = s.Close()
+				}
 				x.shards = fresh
 			}
 			return err
@@ -353,19 +377,38 @@ func (x *ShardedIndex) checkpointLocked() error {
 	return nil
 }
 
-// Close syncs and closes every shard's write-ahead log (no-op without
-// durability). Reads keep working; further mutations fail their
-// durable append. Close does not checkpoint: recovery replays the logs
-// onto the last snapshot.
+// Close closes every shard (stopping its background merger and merging
+// buffered deltas down), then syncs and closes every shard's
+// write-ahead log (no-op without durability). Reads keep working;
+// further mutations fail their durable append. Close does not
+// checkpoint: recovery replays the logs onto the last snapshot.
 func (x *ShardedIndex) Close() error {
-	if x.wals == nil {
-		return nil
-	}
 	var err error
+	for _, s := range x.shards {
+		err = errors.Join(err, s.Close())
+	}
+	if x.wals == nil {
+		return err
+	}
 	for _, l := range x.wals {
 		err = errors.Join(err, l.Close())
 	}
 	return err
+}
+
+// ensureMemtable re-enables the per-shard delta tiers on a loaded
+// snapshot (loaders never enable the tier themselves); used by
+// RecoverSharded before replaying the log tails.
+func (x *ShardedIndex) ensureMemtable(cfg Memtable) {
+	cfg = cfg.withDefaults()
+	x.options.Memtable = cfg
+	if !cfg.Enabled {
+		return
+	}
+	per := perShardOptions(x.options, len(x.shards))
+	for _, s := range x.shards {
+		s.ensureMemtable(per.Memtable)
+	}
 }
 
 // Insert adds a new object at p, routed to the shard owning p.
@@ -567,6 +610,7 @@ func (x *ShardedIndex) UpdateBatch(changes []Change) (BatchResult, error) {
 			res.Groups += br.Groups
 			res.GroupResolved += br.GroupResolved
 			res.Fallback += br.Fallback
+			res.Absorbed += br.Absorbed
 			resMu.Unlock()
 			// Reconcile the global table with whatever prefix the shard
 			// applied (all of it when err == nil), collecting the applied
@@ -626,6 +670,9 @@ func (x *ShardedIndex) UpdateBatch(changes []Change) (BatchResult, error) {
 				resMu.Lock()
 				res.Applied++
 				res.CrossShard++
+				if x.shards[s].mem != nil {
+					res.Absorbed++
+				}
 				resMu.Unlock()
 				if x.wals != nil {
 					arrived = append(arrived, wal.Op{ID: cm.id, X: cm.new.X, Y: cm.new.Y})
@@ -834,6 +881,7 @@ func (x *ShardedIndex) Stats() (Stats, []ConcurrencyStats) {
 		agg.Outcomes.Piggyback += st.Outcomes.Piggyback
 		agg.Outcomes.Ascended += st.Outcomes.Ascended
 		agg.Outcomes.TopDown += st.Outcomes.TopDown
+		agg.Memtable = agg.Memtable.add(st.Memtable)
 	}
 	return agg, cs
 }

@@ -3,6 +3,7 @@ package burtree
 import (
 	"fmt"
 	"testing"
+	"time"
 
 	"burtree/internal/workload"
 )
@@ -60,6 +61,9 @@ func indexSubject(opts Options) traceSubject {
 			if err := idx.CheckInvariants(); err != nil {
 				t.Errorf("Index invariants after replay: %v", err)
 			}
+			if err := idx.Close(); err != nil {
+				t.Errorf("Index close after replay: %v", err)
+			}
 		},
 	}
 }
@@ -85,6 +89,9 @@ func concurrentSubject(opts Options) traceSubject {
 		cleanup: func(t *testing.T) {
 			if err := idx.CheckInvariants(); err != nil {
 				t.Errorf("ConcurrentIndex invariants after replay: %v", err)
+			}
+			if err := idx.Close(); err != nil {
+				t.Errorf("ConcurrentIndex close after replay: %v", err)
 			}
 		},
 	}
@@ -112,8 +119,28 @@ func shardedSubject(opts Options, so ShardOptions) traceSubject {
 			if err := idx.CheckInvariants(); err != nil {
 				t.Errorf("ShardedIndex invariants after replay: %v", err)
 			}
+			if err := idx.Close(); err != nil {
+				t.Errorf("ShardedIndex close after replay: %v", err)
+			}
 		},
 	}
+}
+
+// memtableOpts returns opts with the delta tier enabled at a size
+// small enough to force many merge-downs mid-trace, plus an age
+// trigger so the concurrent front-ends' background mergers race the
+// replayed reads.
+func memtableOpts(opts Options) Options {
+	opts.Memtable = Memtable{Enabled: true, MaxObjects: 64, MaxAge: 500 * time.Microsecond}
+	return opts
+}
+
+// named overrides a subject's display name (memtable-enabled legs
+// replay the same trace as their plain counterpart and must be told
+// apart in diffs).
+func named(name string, s traceSubject) traceSubject {
+	s.name = name
+	return s
 }
 
 // replayEquivalence replays one trace against every subject and
@@ -157,6 +184,13 @@ func TestTraceReplayEquivalence(t *testing.T) {
 				concurrentSubject(opts),
 				shardedSubject(opts, ShardOptions{Shards: 4, Partition: ShardGrid}),
 				shardedSubject(opts, ShardOptions{Shards: 5, Partition: ShardHilbert}),
+				// Memtable-enabled legs against the memtable-disabled
+				// oracle above: the delta tier must be observationally
+				// invisible.
+				named("Index+memtable", indexSubject(memtableOpts(opts))),
+				named("ConcurrentIndex+memtable", concurrentSubject(memtableOpts(opts))),
+				named("ShardedIndex-grid-4+memtable",
+					shardedSubject(memtableOpts(opts), ShardOptions{Shards: 4, Partition: ShardGrid})),
 			)
 		})
 	}
@@ -176,5 +210,8 @@ func TestTraceReplaySkewed(t *testing.T) {
 		indexSubject(opts),
 		concurrentSubject(opts),
 		shardedSubject(opts, ShardOptions{Shards: 8, Partition: ShardHilbert}),
+		named("ConcurrentIndex+memtable", concurrentSubject(memtableOpts(opts))),
+		named("ShardedIndex-hilbert-8+memtable",
+			shardedSubject(memtableOpts(opts), ShardOptions{Shards: 8, Partition: ShardHilbert})),
 	)
 }

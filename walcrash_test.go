@@ -36,6 +36,16 @@ func crashOpts(stateDir string) Options {
 	}
 }
 
+// memtableCrashOpts is crashOpts with the delta tier enabled at a
+// budget small enough that merge-downs trip every few operations, so
+// crashes land mid-merge and recovery must rebuild state whose tree
+// half and memtable half were torn arbitrarily.
+func memtableCrashOpts(stateDir string) Options {
+	o := crashOpts(stateDir)
+	o.Memtable = Memtable{Enabled: true, MaxObjects: 8}
+	return o
+}
+
 // crashStream generates the deterministic op stream: every op maps to
 // exactly one log record, and the stream only issues valid operations
 // (inserts of fresh ids, updates/deletes/batches over live ids).
@@ -194,10 +204,22 @@ func checkOldOrNew(rec, a, b map[uint64]Point) error {
 // nothing more, nothing less. Record extents are measured externally
 // (file size after each synced op), so the check does not trust the
 // log reader's own framing.
+//
+// The memtable leg runs the identical sweep with the delta tier
+// enabled on both halves: writes are acked out of the memtable (merges
+// never touch the log), and recovery replays the durable tail back
+// into a fresh memtable — truncating at any byte must still restore
+// exactly the acked prefix, even when the original process crashed
+// with deltas buffered or a merge mid-flight.
 func TestCrashTruncationSweep(t *testing.T) {
+	t.Run("plain", func(t *testing.T) { runTruncationSweep(t, crashOpts) })
+	t.Run("memtable", func(t *testing.T) { runTruncationSweep(t, memtableCrashOpts) })
+}
+
+func runTruncationSweep(t *testing.T, mkOpts func(string) Options) {
 	base := t.TempDir()
 	stateDir := filepath.Join(base, "state")
-	idx, err := Open(crashOpts(stateDir))
+	idx, err := Open(mkOpts(stateDir))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +283,7 @@ func TestCrashTruncationSweep(t *testing.T) {
 		if err := os.WriteFile(filepath.Join(dir, "wal-00000001.seg"), data[:off], 0o644); err != nil {
 			t.Fatal(err)
 		}
-		rec, err := Recover(crashOpts(dir))
+		rec, err := Recover(mkOpts(dir))
 		if err != nil {
 			t.Fatalf("offset %d: recovery failed: %v", off, err)
 		}
@@ -293,9 +315,14 @@ func TestCrashChildProcess(t *testing.T) {
 	stateDir := filepath.Join(dir, "state")
 	var a applier
 	var err error
-	if os.Getenv("BURTREE_CRASH_KIND") == "sharded" {
+	switch os.Getenv("BURTREE_CRASH_KIND") {
+	case "sharded":
 		a, err = RecoverSharded(crashOpts(stateDir), ShardOptions{Shards: 4})
-	} else {
+	case "memtable":
+		a, err = Recover(memtableCrashOpts(stateDir))
+	case "sharded-memtable":
+		a, err = RecoverSharded(memtableCrashOpts(stateDir), ShardOptions{Shards: 4})
+	default:
 		a, err = Recover(crashOpts(stateDir))
 	}
 	if err != nil {
@@ -320,9 +347,13 @@ func TestCrashChildProcess(t *testing.T) {
 // TestCrashKillRecovers SIGKILLs a child process mid-stream and
 // verifies that recovery restores exactly the acked prefix: every
 // acknowledged op survives, and at most the single op in flight at
-// kill time may additionally be present.
+// kill time may additionally be present. The memtable kinds run the
+// child with the delta tier enabled at a tiny budget, so the kill
+// routinely lands with deltas buffered in memory or a merge-down
+// mid-flight — an acked op's tree work may not have happened yet, but
+// its log record has, and that is all recovery needs.
 func TestCrashKillRecovers(t *testing.T) {
-	for _, kind := range []string{"index", "sharded"} {
+	for _, kind := range []string{"index", "sharded", "memtable", "sharded-memtable"} {
 		t.Run(kind, func(t *testing.T) {
 			dir := t.TempDir()
 			cmd := exec.Command(os.Args[0], "-test.run=^TestCrashChildProcess$", "-test.v")
@@ -375,9 +406,13 @@ func TestCrashKillRecovers(t *testing.T) {
 			after := s.oracle
 
 			stateDir := filepath.Join(dir, "state")
+			mkOpts := crashOpts
+			if strings.Contains(kind, "memtable") {
+				mkOpts = memtableCrashOpts
+			}
 			var rec map[uint64]Point
-			if kind == "sharded" {
-				x, err := RecoverSharded(crashOpts(stateDir), ShardOptions{Shards: 4})
+			if strings.HasPrefix(kind, "sharded") {
+				x, err := RecoverSharded(mkOpts(stateDir), ShardOptions{Shards: 4})
 				if err != nil {
 					t.Fatalf("recovery after kill: %v", err)
 				}
@@ -387,7 +422,7 @@ func TestCrashKillRecovers(t *testing.T) {
 				}
 				rec = recoveredObjects(t, x)
 			} else {
-				x, err := Recover(crashOpts(stateDir))
+				x, err := Recover(mkOpts(stateDir))
 				if err != nil {
 					t.Fatalf("recovery after kill: %v", err)
 				}
