@@ -1,0 +1,36 @@
+GO ?= go
+
+.PHONY: all build test race lint burlint fmt clean
+
+all: build test lint
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./...
+
+# burlint: the repo's invariant analyzers (see internal/lint and the
+# "Static analysis & invariants" section of README.md), run through the
+# go vet -vettool protocol so results land in the build cache.
+burlint: bin/burlint
+	$(GO) vet -vettool=$(CURDIR)/bin/burlint ./...
+
+bin/burlint: FORCE
+	$(GO) build -o bin/burlint ./cmd/burlint
+
+lint: burlint
+	$(GO) vet ./...
+	$(GO) test ./internal/lint/...
+
+fmt:
+	gofmt -w $$(git ls-files '*.go')
+
+clean:
+	rm -rf bin
+
+.PHONY: FORCE
+FORCE:

@@ -17,13 +17,16 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
+	"burtree/internal/atomicfile"
 	"burtree/internal/exp"
 )
 
@@ -110,14 +113,13 @@ func main() {
 		ids = strings.Split(*experiment, ",")
 	}
 
-	w := os.Stdout
+	// Results stream to stdout directly; a -o report is accumulated in
+	// memory and written atomically at the end, so an interrupted run
+	// never leaves a torn report where a previous one stood.
+	var w io.Writer = os.Stdout
+	var outBuf bytes.Buffer
 	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fatal(err)
-		}
-		defer f.Close()
-		w = f
+		w = &outBuf
 	}
 
 	report := jsonReport{Tool: "burbench", Seed: *seed, Scale: s}
@@ -151,12 +153,18 @@ func main() {
 		}
 		report.Experiments = append(report.Experiments, jr)
 	}
+	if *out != "" {
+		if err := atomicfile.WriteBytes(*out, outBuf.Bytes()); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(&report, "", "  ")
 		if err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+		if err := atomicfile.WriteBytes(*jsonOut, append(data, '\n')); err != nil {
 			fatal(err)
 		}
 		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)

@@ -1,0 +1,80 @@
+package atomicfile
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteReplacesAtomically(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.bin")
+	if err := WriteBytes(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBytes(path, []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "new" {
+		t.Fatalf("got %q, want %q", got, "new")
+	}
+	leftovers(t, dir, path)
+}
+
+func TestFailedSaveKeepsOldArtifact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact.bin")
+	if err := WriteBytes(path, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	err := Write(path, func(w io.Writer) error {
+		// A partial write before the failure must not reach path.
+		if _, werr := w.Write([]byte("torn")); werr != nil {
+			return werr
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+	got, rerr := os.ReadFile(path)
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(got) != "old" {
+		t.Fatalf("old artifact clobbered: %q", got)
+	}
+	leftovers(t, dir, path)
+}
+
+func TestWriteIntoMissingDirFails(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no", "such", "dir", "x")
+	if err := WriteBytes(path, []byte("x")); err == nil {
+		t.Fatal("expected error writing into missing directory")
+	}
+}
+
+// leftovers fails the test if any temp file survived.
+func leftovers(t *testing.T, dir, keep string) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if filepath.Join(dir, e.Name()) == keep {
+			continue
+		}
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+}

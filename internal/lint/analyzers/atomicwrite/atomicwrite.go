@@ -1,0 +1,99 @@
+// Package atomicwrite forbids creating durable artifacts with bare
+// os.Create / os.OpenFile(O_CREATE) / os.WriteFile outside the shared
+// internal/atomicfile helper.
+//
+// Invariant: an artifact that a loader parses (snapshot, manifest,
+// trace, benchmark report) is replaced only by temp+fsync+rename, so a
+// crash mid-write can never leave a torn file where a good one stood.
+// This is the exact bug class PR 4 fixed in the snapshot writer, which
+// used to truncate the old snapshot before writing the new one.
+//
+// Sanctioned creations that are not flagged:
+//   - anything inside the internal/atomicfile package itself;
+//   - os.CreateTemp (the first half of the atomic pattern);
+//   - os.OpenFile with O_EXCL (creates a fresh name, such as a WAL
+//     segment — it can never truncate an existing artifact, and torn
+//     tails are the log reader's documented crash semantics).
+package atomicwrite
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"os"
+
+	"burtree/internal/lint/framework"
+)
+
+// Analyzer is the atomicwrite analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "atomicwrite",
+	Doc: "flags artifact creation (os.Create, os.OpenFile(O_CREATE) without O_EXCL, os.WriteFile) " +
+		"outside internal/atomicfile; artifacts must be replaced via temp+fsync+rename " +
+		"(the PR 4 snapshot truncate-before-write bug class)",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if framework.PkgTail(pass.Pkg, "atomicfile") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			name, ok := osFunc(pass.TypesInfo, call)
+			if !ok {
+				return true
+			}
+			switch name {
+			case "Create", "WriteFile":
+				pass.Reportf(call.Pos(), "artifact created with os.%s; use internal/atomicfile (temp+fsync+rename) so a crash cannot leave a torn artifact", name)
+			case "OpenFile":
+				if len(call.Args) >= 2 {
+					if flags, known := intConst(pass.TypesInfo, call.Args[1]); known {
+						if flags&int64(os.O_CREATE) != 0 && flags&int64(os.O_EXCL) == 0 {
+							pass.Reportf(call.Pos(), "artifact created with os.OpenFile(O_CREATE) without O_EXCL; use internal/atomicfile (temp+fsync+rename) so a crash cannot leave a torn artifact")
+						}
+					} else {
+						pass.Reportf(call.Args[1].Pos(), "os.OpenFile flags are not a constant; burlint cannot prove the call does not create an artifact (use a constant flag expression)")
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// osFunc resolves a call to a function of the real os package.
+func osFunc(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok || pn.Imported().Path() != "os" {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// intConst evaluates an expression to a constant int if possible.
+func intConst(info *types.Info, e ast.Expr) (int64, bool) {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	v, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	return v, exact
+}

@@ -1,0 +1,244 @@
+// Package granulecopy flags value copies of structs that carry
+// synchronization state — beyond what vet's copylocks reports.
+//
+// Invariant: lock state has one home. A copied sync.Mutex (or
+// WaitGroup, Once, Cond, sync.Map, sync/atomic value) is a fork of the
+// lock: both copies compile, both "work", and they no longer exclude
+// each other. The same holds for the DGL descriptors — a dgl.Txn is
+// the identity the lock manager grants modes to, and a copied Txn
+// makes Release/ReleaseAll operate on a ghost owner; a copied
+// dgl.Manager forks the whole lock table. vet's copylocks only flags
+// types that implement sync.Locker; this analyzer flags any value
+// copy (assignment, initializer, by-value parameter/receiver/result,
+// call argument, return, range value) of a type that transitively
+// contains one of those components.
+package granulecopy
+
+import (
+	"go/ast"
+	"go/types"
+
+	"burtree/internal/lint/framework"
+)
+
+// Analyzer is the granulecopy analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "granulecopy",
+	Doc: "flags value copies of types transitively containing sync primitives, sync/atomic values, " +
+		"or DGL descriptors (dgl.Txn, dgl.Manager); a copied lock no longer excludes its original — " +
+		"pass these by pointer",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Recv != nil {
+					for _, field := range n.Recv.List {
+						checkByValueField(pass, field, "receiver")
+					}
+				}
+				checkFuncType(pass, n.Type)
+			case *ast.FuncLit:
+				checkFuncType(pass, n.Type)
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// `_ = x` materializes no second copy anyone can
+					// lock through.
+					if len(n.Lhs) == len(n.Rhs) && isBlank(n.Lhs[i]) {
+						continue
+					}
+					checkCopiedValue(pass, rhs, "assignment")
+				}
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					checkCopiedValue(pass, v, "initializer")
+				}
+			case *ast.ReturnStmt:
+				for _, r := range n.Results {
+					checkCopiedValue(pass, r, "return")
+				}
+			case *ast.CallExpr:
+				if !isNewOrLen(pass.TypesInfo, n) {
+					for _, arg := range n.Args {
+						checkCopiedValue(pass, arg, "call argument")
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if part, ok := lockComponent(typeOf(pass.TypesInfo, n.Value)); ok {
+						pass.Reportf(n.Value.Pos(), "range value copies %s (contains %s); iterate by index or use pointers", typeLabel(pass.TypesInfo, n.Value), part)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkFuncType flags by-value parameters and results of lock-carrying
+// types.
+func checkFuncType(pass *framework.Pass, ft *ast.FuncType) {
+	if ft.Params != nil {
+		for _, field := range ft.Params.List {
+			checkByValueField(pass, field, "parameter")
+		}
+	}
+	if ft.Results != nil {
+		for _, field := range ft.Results.List {
+			checkByValueField(pass, field, "result")
+		}
+	}
+}
+
+func checkByValueField(pass *framework.Pass, field *ast.Field, kind string) {
+	tv, ok := pass.TypesInfo.Types[field.Type]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if part, ok := lockComponent(tv.Type); ok {
+		pass.Reportf(field.Type.Pos(), "by-value %s of type %s copies %s; pass by pointer", kind, tv.Type, part)
+	}
+}
+
+// checkCopiedValue flags expressions that copy an existing value of a
+// lock-carrying type: identifiers, field selections, dereferences, and
+// index expressions. Composite literals, & expressions, and call
+// results are not existing values being duplicated.
+func checkCopiedValue(pass *framework.Pass, e ast.Expr, context string) {
+	switch ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+	default:
+		return
+	}
+	t := typeOf(pass.TypesInfo, e)
+	if part, ok := lockComponent(t); ok {
+		pass.Reportf(e.Pos(), "%s copies %s (contains %s); the copy and the original no longer exclude each other — use a pointer", context, typeLabel(pass.TypesInfo, e), part)
+	}
+}
+
+// isNewOrLen reports calls whose arguments are not really copied:
+// conversions and the builtins that take a value without duplicating
+// its lock state for concurrent use are out of scope; only new/len/cap
+// style builtins matter in practice for false positives.
+func isNewOrLen(info *types.Info, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := info.Uses[id].(*types.Builtin); ok {
+			return true
+		}
+	}
+	// Type conversions like GranuleID(x) do not copy struct state.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return true
+	}
+	return false
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func typeOf(info *types.Info, e ast.Expr) types.Type {
+	if tv, ok := info.Types[e]; ok {
+		return tv.Type
+	}
+	// Idents in define position (range values) live in Defs, not Types.
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.ObjectOf(id); obj != nil {
+			return obj.Type()
+		}
+	}
+	return nil
+}
+
+// typeLabel renders "a dgl.Txn"-style labels for messages.
+func typeLabel(info *types.Info, e ast.Expr) string {
+	t := typeOf(info, e)
+	if t == nil {
+		return "a value"
+	}
+	return "a " + types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+// lockComponent reports whether t transitively contains (by value) a
+// component whose copy forks synchronization state, and names it.
+func lockComponent(t types.Type) (string, bool) {
+	return findLock(t, map[types.Type]bool{})
+}
+
+func findLock(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if t == nil || seen[t] {
+		return "", false
+	}
+	seen[t] = true
+
+	switch {
+	case isSyncPrimitive(t):
+		return "sync." + namedName(t), true
+	case isAtomicValue(t):
+		return "sync/atomic." + namedName(t), true
+	case named(t, "dgl", "Txn"):
+		return "dgl.Txn (the lock owner identity)", true
+	case named(t, "dgl", "Manager"):
+		return "dgl.Manager (the lock table)", true
+	}
+
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if part, ok := findLock(u.Field(i).Type(), seen); ok {
+				return part, true
+			}
+		}
+	case *types.Array:
+		return findLock(u.Elem(), seen)
+	}
+	return "", false
+}
+
+var syncPrimitives = []string{"Mutex", "RWMutex", "Once", "WaitGroup", "Cond", "Map", "Pool"}
+
+func isSyncPrimitive(t types.Type) bool {
+	for _, name := range syncPrimitives {
+		if named(t, "sync", name) {
+			return true
+		}
+	}
+	return false
+}
+
+var atomicValues = []string{"Bool", "Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer", "Value"}
+
+func isAtomicValue(t types.Type) bool {
+	for _, name := range atomicValues {
+		if named(t, "atomic", name) {
+			return true
+		}
+	}
+	return false
+}
+
+// named matches without pointer indirection: a *sync.Mutex field is
+// shared, not copied, so only direct containment counts.
+func named(t types.Type, pkgTail, name string) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && framework.PkgTail(obj.Pkg(), pkgTail)
+}
+
+func namedName(t types.Type) string {
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return t.String()
+}

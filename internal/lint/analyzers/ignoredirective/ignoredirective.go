@@ -1,0 +1,65 @@
+// Package ignoredirective polices the //burlint:ignore escape hatch
+// itself.
+//
+// A suppression is a debt the codebase takes on knowingly, so every
+// directive must name a real analyzer and carry a written reason:
+//
+//	//burlint:ignore closecheck error path: the open failure is the one to surface
+//
+// Directives with no analyzer name, an unknown analyzer name, or no
+// reason are themselves diagnostics — an ignore can never silently
+// widen or rot into a bare comment. Unlike the invariant analyzers,
+// this one runs on _test.go files too: a malformed directive is
+// malformed wherever it lives.
+package ignoredirective
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"burtree/internal/lint/framework"
+)
+
+// New returns the directive validator. It takes the known analyzer
+// names (rather than importing the registry) to avoid an import cycle
+// with the package that assembles the full suite.
+func New(known []string) *framework.Analyzer {
+	names := make(map[string]bool, len(known)+1)
+	for _, n := range known {
+		names[n] = true
+	}
+	names["ignoredirective"] = true
+	sorted := append([]string(nil), known...)
+	sort.Strings(sorted)
+	list := strings.Join(sorted, ", ")
+
+	return &framework.Analyzer{
+		Name: "ignoredirective",
+		Doc: "validates //burlint:ignore directives: each must name a known analyzer and carry a " +
+			"non-empty reason, so suppressions stay auditable",
+		Run: func(pass *framework.Pass) error {
+			return run(pass, names, list)
+		},
+	}
+}
+
+func run(pass *framework.Pass, known map[string]bool, list string) error {
+	for _, f := range pass.Files {
+		for _, d := range framework.Directives(pass.Fset, f) {
+			switch {
+			case d.Analyzer == "":
+				pass.Reportf(d.Pos, "burlint:ignore directive names no analyzer; write %s", usage())
+			case !known[d.Analyzer]:
+				pass.Reportf(d.Pos, "burlint:ignore names unknown analyzer %q (known: %s)", d.Analyzer, list)
+			case d.Reason == "":
+				pass.Reportf(d.Pos, "burlint:ignore %s has no reason; every suppression must say why it is sound", d.Analyzer)
+			}
+		}
+	}
+	return nil
+}
+
+func usage() string {
+	return fmt.Sprintf("`%s <analyzer> <reason>`", framework.IgnorePrefix)
+}

@@ -1,0 +1,170 @@
+// Package lockorder statically enforces the DGL acquisition protocol
+// in packages that use the internal/dgl lock manager.
+//
+// Two invariants, both load-bearing for deadlock freedom:
+//
+//  1. Canonical granule order. A transaction acquires granules in the
+//     global order tree → cells → pages (internal/concurrent documents
+//     it; the grid cells are additionally taken in sorted id order at
+//     runtime). Statically, the analyzer classifies each
+//     Manager.Acquire call's granule argument into a tier by the names
+//     it mentions — "tree" (tier 0), "cell" (tier 1), "page" (tier 2)
+//     — and flags an acquisition whose tier is lower than one already
+//     taken since the transaction began (Begin/ReleaseAll reset the
+//     tracking). PR 2's rollback race was exactly a path that touched
+//     granules out of protocol after a failed update.
+//
+//  2. No granule waits under the exclusive latch. The physical latch
+//     serializes page access and is always taken *after* the granule
+//     locks; a Manager.Acquire while holding an exclusive latch can
+//     deadlock against a holder waiting for the latch. The analyzer
+//     flags any Acquire between a sync .Lock() and its .Unlock() in
+//     the same function.
+//
+// The analysis is a single lexical pass per function body (branches
+// are treated as sequential), which matches how the engine's lock
+// paths are written; function literals are analyzed independently.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"burtree/internal/lint/framework"
+)
+
+// Analyzer is the lockorder analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "lockorder",
+	Doc: "enforces DGL acquisition order (tree → cell → page granules, by name tier) and forbids " +
+		"Manager.Acquire while an exclusive sync lock is held (granules are always taken before the latch)",
+	Run: run,
+}
+
+// Granule tiers in canonical acquisition order.
+const (
+	tierUnknown = -1
+	tierTree    = 0
+	tierCell    = 1
+	tierPage    = 2
+)
+
+var tierName = map[int]string{tierTree: "tree", tierCell: "cell", tierPage: "page"}
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					scanBody(pass, n.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				scanBody(pass, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// scanBody walks one function body in lexical order, tracking the
+// latch and the highest granule tier acquired so far. Nested function
+// literals get their own scan with fresh state.
+func scanBody(pass *framework.Pass, body *ast.BlockStmt) {
+	latchHeld := false
+	var latchPos token.Pos
+	maxTier := tierUnknown
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			scanBody(pass, lit.Body)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		recv, name, ok := framework.ReceiverOf(pass.TypesInfo, call)
+		if !ok {
+			return true
+		}
+		switch {
+		case isSyncLock(recv) && name == "Lock":
+			latchHeld, latchPos = true, call.Pos()
+		case isSyncLock(recv) && name == "Unlock":
+			latchHeld = false
+		case isDGLManager(recv):
+			switch name {
+			case "Acquire":
+				if latchHeld {
+					pass.Reportf(call.Pos(), "granule lock acquired while holding the exclusive latch (taken at %s); granules must be acquired before the latch", pass.Fset.Position(latchPos))
+				}
+				if len(call.Args) >= 2 {
+					tier := tierOf(call.Args[1])
+					if tier != tierUnknown {
+						if maxTier != tierUnknown && tier < maxTier {
+							pass.Reportf(call.Pos(), "%s granule acquired after a %s granule; canonical DGL order is tree → cell → page", tierName[tier], tierName[maxTier])
+						}
+						if tier > maxTier {
+							maxTier = tier
+						}
+					}
+				}
+			case "ReleaseAll", "Begin":
+				maxTier = tierUnknown
+			}
+		}
+		return true
+	})
+}
+
+// isSyncLock reports whether t is sync.Mutex or sync.RWMutex (possibly
+// behind a pointer).
+func isSyncLock(t types.Type) bool {
+	return framework.NamedFrom(t, "sync", "Mutex") || framework.NamedFrom(t, "sync", "RWMutex")
+}
+
+// isDGLManager reports whether t is the dgl lock manager.
+func isDGLManager(t types.Type) bool {
+	return framework.NamedFrom(t, "dgl", "Manager")
+}
+
+// tierOf classifies a granule expression by the names it mentions.
+// The engine's naming convention carries the tier: TreeGranule and
+// tree-granule locals mention "tree", cellOf/cellsOfRect results and
+// cell slices mention "cell", pageGranule results mention "page". The
+// literal 0 is the tree granule. Mixed mentions take the highest tier
+// (a "pageGranule" helper is a page no matter what else it mentions);
+// unknown names impose no constraint.
+func tierOf(e ast.Expr) int {
+	var names []string
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			names = append(names, strings.ToLower(id.Name))
+		}
+		if lit, ok := n.(*ast.BasicLit); ok && lit.Value == "0" {
+			names = append(names, "tree")
+		}
+		return true
+	})
+	tier := tierUnknown
+	for _, name := range names {
+		switch {
+		case strings.Contains(name, "page"):
+			return tierPage
+		case strings.Contains(name, "cell"):
+			tier = tierCell
+		case strings.Contains(name, "tree") && tier < tierCell:
+			tier = tierTree
+		}
+	}
+	return tier
+}

@@ -1,0 +1,257 @@
+// Package walack enforces the write-ahead-log acknowledgement
+// contract on the index front-ends.
+//
+// Invariant: a mutation that can be acknowledged as durable must reach
+// the WAL before the ack. Concretely, every exported mutation method
+// (Insert, Update, Delete, UpdateBatch) on a type that carries a
+// *wal.Log (or a slice of them, like ShardedIndex's per-shard logs)
+// must, on every path that returns a nil error, first call a logging
+// function — wal.Append / wal.AppendAsync directly, or a same-package
+// helper (logAppend, logTo) that transitively reaches one. The
+// durability-off case is inside the helpers (`if x.wal == nil`), so
+// the mutation paths log unconditionally; a new mutation path that
+// skips the log is exactly the bug this analyzer exists to catch: it
+// acknowledges state recovery cannot replay.
+//
+// The check is lexical per method: a `return nil` (in the error
+// position) is flagged unless a logging call appears earlier in the
+// method source (function literals included), or the return value is
+// itself a logging call. Returns of non-nil/unknown error expressions
+// are never flagged — they are failure paths or cannot be proven to
+// ack. BulkInsert is exempt by contract: it checkpoints instead of
+// logging.
+package walack
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"burtree/internal/lint/framework"
+)
+
+// Analyzer is the walack analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "walack",
+	Doc: "exported mutation methods (Insert/Update/Delete/UpdateBatch) on WAL-carrying index types must reach " +
+		"wal.Append/AppendAsync (directly or via a logging helper) before acknowledging success, " +
+		"so no acked state is invisible to recovery",
+	Run: run,
+}
+
+// mutationMethods are the acking mutation surface of the front-ends.
+var mutationMethods = map[string]bool{
+	"Insert": true, "Update": true, "Delete": true, "UpdateBatch": true,
+}
+
+func run(pass *framework.Pass) error {
+	carriers := walCarriers(pass.Pkg)
+	if len(carriers) == 0 {
+		return nil
+	}
+	logging := loggingFuncs(pass)
+
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || !mutationMethods[fn.Name.Name] {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			recv := obj.Signature().Recv()
+			if recv == nil || !carriers[deref(recv.Type())] {
+				continue
+			}
+			checkMethod(pass, fn, logging)
+		}
+	}
+	return nil
+}
+
+// checkMethod flags success returns not preceded by a logging call.
+func checkMethod(pass *framework.Pass, fn *ast.FuncDecl, logging map[*types.Func]bool) {
+	// Lexical positions of every call that reaches the WAL, including
+	// inside function literals (the sharded batch path logs from its
+	// per-shard goroutines).
+	var logPositions []token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isLoggingCall(pass, call, logging) {
+			logPositions = append(logPositions, call.Pos())
+		}
+		return true
+	})
+	loggedBefore := func(pos token.Pos) bool {
+		for _, p := range logPositions {
+			if p < pos {
+				return true
+			}
+		}
+		return false
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok || len(ret.Results) == 0 {
+			return true
+		}
+		errExpr := ret.Results[len(ret.Results)-1]
+		switch e := errExpr.(type) {
+		case *ast.Ident:
+			if e.Name == "nil" && !loggedBefore(ret.Pos()) {
+				pass.Reportf(ret.Pos(), "%s acknowledges success without reaching the WAL: no wal.Append/AppendAsync (or logging helper) call precedes this return", fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			// A returned call can be the ack itself (`return
+			// x.logAppend(...)`) or a same-package tail that may
+			// succeed (`return x.maybeMerge()`); the latter must come
+			// after the log call. Foreign constructors (fmt.Errorf,
+			// errors.New) only build failures and are never acks.
+			callee := calleeFunc(pass.TypesInfo, e)
+			samePkg := callee != nil && callee.Pkg() == pass.Pkg
+			if samePkg && !isLoggingCall(pass, e, logging) && !loggedBefore(ret.Pos()) {
+				pass.Reportf(ret.Pos(), "%s acknowledges success without reaching the WAL: the returned helper does not log and no logging call precedes it", fn.Name.Name)
+			}
+		}
+		return true
+	})
+}
+
+// walCarriers returns the package-level named types that carry a
+// *wal.Log (directly, or as a slice/array of per-shard logs).
+func walCarriers(pkg *types.Package) map[types.Type]bool {
+	out := map[types.Type]bool{}
+	if pkg == nil {
+		return out
+	}
+	scope := pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok || tn.IsAlias() {
+			continue
+		}
+		st, ok := tn.Type().Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			ft := st.Field(i).Type()
+			switch t := ft.(type) {
+			case *types.Slice:
+				ft = t.Elem()
+			case *types.Array:
+				ft = t.Elem()
+			}
+			if isWALLog(ft) {
+				out[tn.Type()] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// loggingFuncs computes the same-package functions that (transitively)
+// call Append/AppendAsync on a *wal.Log.
+func loggingFuncs(pass *framework.Pass) map[*types.Func]bool {
+	logging := map[*types.Func]bool{}
+	// calls[f] lists the same-package functions f calls.
+	calls := map[*types.Func][]*types.Func{}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if isDirectWALAppend(pass.TypesInfo, call) {
+					logging[obj] = true
+					return true
+				}
+				if callee := calleeFunc(pass.TypesInfo, call); callee != nil && callee.Pkg() == pass.Pkg {
+					calls[obj] = append(calls[obj], callee)
+				}
+				return true
+			})
+		}
+	}
+	// Fixed point: a function that calls a logging function logs.
+	for changed := true; changed; {
+		changed = false
+		for fn, callees := range calls {
+			if logging[fn] {
+				continue
+			}
+			for _, c := range callees {
+				if logging[c] {
+					logging[fn] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	return logging
+}
+
+// isLoggingCall reports whether the call reaches the WAL: a direct
+// Append/AppendAsync on a *wal.Log, or a call to a known logging
+// function.
+func isLoggingCall(pass *framework.Pass, call *ast.CallExpr, logging map[*types.Func]bool) bool {
+	if isDirectWALAppend(pass.TypesInfo, call) {
+		return true
+	}
+	callee := calleeFunc(pass.TypesInfo, call)
+	return callee != nil && logging[callee]
+}
+
+// isDirectWALAppend matches l.Append(...) / l.AppendAsync(...) where l
+// is a *wal.Log.
+func isDirectWALAppend(info *types.Info, call *ast.CallExpr) bool {
+	recv, name, ok := framework.ReceiverOf(info, call)
+	if !ok || (name != "Append" && name != "AppendAsync") {
+		return false
+	}
+	return isWALLog(recv)
+}
+
+// calleeFunc resolves the called function or method, if statically
+// known.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// isWALLog reports whether t is wal.Log (possibly behind a pointer)
+// from a package whose path ends in "wal".
+func isWALLog(t types.Type) bool {
+	return framework.NamedFrom(t, "wal", "Log")
+}
+
+func deref(t types.Type) types.Type {
+	if ptr, ok := t.(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}

@@ -1,0 +1,55 @@
+// Package atomicwrite exercises the atomicwrite analyzer: artifact
+// creation outside internal/atomicfile is flagged; the sanctioned
+// patterns are not.
+package atomicwrite
+
+import "os"
+
+// truncateBeforeWrite reproduces the PR 4 snapshot bug: os.Create
+// truncates the old artifact before the new bytes exist, so a crash
+// mid-write leaves a torn file where a good snapshot stood.
+func truncateBeforeWrite(path string, encode func(*os.File) error) error {
+	f, err := os.Create(path) // want `artifact created with os\.Create`
+	if err != nil {
+		return err
+	}
+	if err := encode(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func writeFileWhole(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644) // want `artifact created with os\.WriteFile`
+}
+
+func openCreate(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644) // want `os\.OpenFile\(O_CREATE\) without O_EXCL`
+}
+
+func unprovableFlags(path string, flags int) (*os.File, error) {
+	return os.OpenFile(path, flags, 0o644) // want `flags are not a constant`
+}
+
+// freshSegment is the WAL-segment pattern: O_EXCL creates a new name
+// and can never truncate an existing artifact. Not flagged.
+func freshSegment(path string) (*os.File, error) {
+	return os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+}
+
+// tempHalf is the first half of the atomic pattern. Not flagged.
+func tempHalf(dir string) (*os.File, error) {
+	return os.CreateTemp(dir, "snapshot-*")
+}
+
+// readers never create. Not flagged.
+func readOnly(path string) (*os.File, error) {
+	return os.Open(path)
+}
+
+// suppressed shows the escape hatch: the reason is mandatory.
+func suppressed(path string, data []byte) error {
+	//burlint:ignore atomicwrite fixture: demonstrating a reasoned suppression
+	return os.WriteFile(path, data, 0o644)
+}

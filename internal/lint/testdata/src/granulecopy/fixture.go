@@ -1,0 +1,108 @@
+// Package granulecopy exercises the granulecopy analyzer: value
+// copies of lock-carrying types fork their synchronization state.
+package granulecopy
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"dgl"
+)
+
+// guarded directly embeds a mutex.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// wrapper only reaches the mutex transitively.
+type wrapper struct {
+	g guarded
+}
+
+// counter carries an atomic value.
+type counter struct {
+	hits atomic.Int64
+}
+
+// shared holds its lock state by pointer; copying it shares, not
+// forks. Not flagged.
+type shared struct {
+	mu *sync.Mutex
+	n  int
+}
+
+func byValueParam(g guarded) int { // want `by-value parameter`
+	return g.n
+}
+
+func transitiveParam(w wrapper) int { // want `by-value parameter`
+	return w.g.n
+}
+
+func atomicParam(c counter) { // want `by-value parameter`
+	_ = c
+}
+
+func txnParam(t dgl.Txn) { // want `by-value parameter .* dgl\.Txn`
+	_ = t
+}
+
+func managerResult(m *dgl.Manager) dgl.Manager { // want `by-value result`
+	return *m // want `return copies`
+}
+
+func assignCopy(w *wrapper) {
+	cp := *w // want `assignment copies`
+	cp.g.n++
+}
+
+func fieldCopy(w *wrapper) {
+	g := w.g // want `assignment copies`
+	g.n++
+}
+
+func initializerCopy(w *wrapper) {
+	var cp = *w // want `initializer copies`
+	cp.g.n++
+}
+
+func rangeCopy(ws []wrapper) int {
+	total := 0
+	for _, w := range ws { // want `range value copies`
+		total += w.g.n
+	}
+	return total
+}
+
+func argCopy(w *wrapper) {
+	transitiveParam(*w) // want `call argument copies`
+}
+
+// pointers everywhere: nothing is copied. Not flagged.
+func byPointer(w *wrapper, t *dgl.Txn, m *dgl.Manager) *wrapper {
+	p := w
+	return p
+}
+
+// composite literals build fresh values; there is no original to
+// diverge from. Not flagged.
+func fresh() *wrapper {
+	w := wrapper{}
+	return &w
+}
+
+// byValueShared copies a struct whose lock is behind a pointer; both
+// copies still exclude through the same mutex. Not flagged.
+func byValueShared(s shared) int {
+	return s.n
+}
+
+// rangeByIndex avoids the copy. Not flagged.
+func rangeByIndex(ws []wrapper) int {
+	total := 0
+	for i := range ws {
+		total += ws[i].g.n
+	}
+	return total
+}

@@ -1,0 +1,32 @@
+// Package ignoredirective exercises the directive validator: every
+// //burlint:ignore must name a known analyzer and carry a reason.
+// The want comments sit on the line above each directive because the
+// diagnostic lands on the directive comment itself.
+package ignoredirective
+
+import "os"
+
+func missingAnalyzer(f *os.File) {
+	// want `names no analyzer`
+	//burlint:ignore
+	_ = f.Close()
+}
+
+func unknownAnalyzer(f *os.File) {
+	// want `unknown analyzer "nitpick"`
+	//burlint:ignore nitpick this analyzer does not exist
+	_ = f.Close()
+}
+
+func missingReason(f *os.File) {
+	// want `has no reason`
+	//burlint:ignore closecheck
+	_ = f.Close()
+}
+
+// wellFormed is a complete directive: known analyzer, written reason.
+// Not flagged.
+func wellFormed(f *os.File) {
+	//burlint:ignore closecheck fixture: open failed; that error is the one to surface
+	f.Close()
+}

@@ -1,0 +1,71 @@
+// Package lockorder exercises the lockorder analyzer: granules in
+// canonical tree → cell → page order, and never under the exclusive
+// latch.
+package lockorder
+
+import (
+	"sync"
+
+	"dgl"
+)
+
+const treeGranule = dgl.GranuleID(0)
+
+func cellGranule(i int) dgl.GranuleID { return dgl.GranuleID(1 + i) }
+func pageGranule(i int) dgl.GranuleID { return dgl.GranuleID(1<<32) + dgl.GranuleID(i) }
+
+// canonicalOrder is the engine's protocol. Not flagged.
+func canonicalOrder(m *dgl.Manager, txn *dgl.Txn, cells []dgl.GranuleID) error {
+	if err := m.Acquire(txn, treeGranule, dgl.IX, 0); err != nil {
+		return err
+	}
+	if err := m.Acquire(txn, cells[0], dgl.X, 0); err != nil {
+		return err
+	}
+	return m.Acquire(txn, pageGranule(7), dgl.X, 0)
+}
+
+// rollbackRace is the PR 2 bug shape: a failed update re-locks the
+// tree while still holding cell granules, inverting the order against
+// a concurrent forward pass.
+func rollbackRace(m *dgl.Manager, txn *dgl.Txn, cells []dgl.GranuleID) {
+	_ = m.Acquire(txn, cells[0], dgl.X, 0)
+	_ = m.Acquire(txn, treeGranule, dgl.IX, 0) // want `tree granule acquired after a cell granule`
+}
+
+// pageThenCell inverts the lower tiers.
+func pageThenCell(m *dgl.Manager, txn *dgl.Txn, cells []dgl.GranuleID) {
+	_ = m.Acquire(txn, pageGranule(3), dgl.X, 0)
+	_ = m.Acquire(txn, cells[1], dgl.X, 0) // want `cell granule acquired after a page granule`
+}
+
+// rollbackAfterRelease is the correct recovery: drop everything, then
+// restart from the tree. Not flagged.
+func rollbackAfterRelease(m *dgl.Manager, txn *dgl.Txn, cells []dgl.GranuleID) {
+	_ = m.Acquire(txn, cells[0], dgl.X, 0)
+	m.ReleaseAll(txn)
+	_ = m.Acquire(txn, treeGranule, dgl.IX, 0)
+}
+
+// underLatch waits for a granule while holding the exclusive latch,
+// which can deadlock against a holder waiting for that latch.
+func underLatch(m *dgl.Manager, txn *dgl.Txn, latch *sync.Mutex) {
+	latch.Lock()
+	_ = m.Acquire(txn, treeGranule, dgl.X, 0) // want `granule lock acquired while holding the exclusive latch`
+	latch.Unlock()
+}
+
+// granulesThenLatch is the engine's protocol: granules first, latch
+// second. Not flagged.
+func granulesThenLatch(m *dgl.Manager, txn *dgl.Txn, latch *sync.Mutex) {
+	_ = m.Acquire(txn, pageGranule(1), dgl.X, 0)
+	latch.Lock()
+	defer latch.Unlock()
+}
+
+// afterUnlock re-acquires once the latch is dropped. Not flagged.
+func afterUnlock(m *dgl.Manager, txn *dgl.Txn, latch *sync.Mutex) {
+	latch.Lock()
+	latch.Unlock()
+	_ = m.Acquire(txn, treeGranule, dgl.X, 0)
+}

@@ -1,0 +1,96 @@
+// Package walack exercises the walack analyzer: exported mutation
+// methods on WAL-carrying types must reach the log before acking.
+package walack
+
+import (
+	"errors"
+
+	"wal"
+)
+
+var errUnknown = errors.New("unknown object")
+
+// Index carries a WAL, so its mutation methods are checked.
+type Index struct {
+	log     *wal.Log
+	objects map[uint64]struct{}
+}
+
+// logAppend is the logging helper; the durability-off case lives here.
+func (x *Index) logAppend(typ wal.Type, ops []wal.Op) error {
+	if x.log == nil {
+		return nil
+	}
+	return x.log.Append(typ, ops)
+}
+
+func (x *Index) rebalance() error { return nil }
+
+// Insert acks without ever reaching the WAL — the bug walack exists
+// for: a crash forgets an insert the caller was told is durable.
+func (x *Index) Insert(id uint64) error {
+	x.objects[id] = struct{}{}
+	return nil // want `Insert acknowledges success without reaching the WAL`
+}
+
+// Update logs, then acks. Not flagged.
+func (x *Index) Update(id uint64) error {
+	if _, ok := x.objects[id]; !ok {
+		return errUnknown
+	}
+	if err := x.logAppend(wal.TypeUpdate, nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Delete acks with the log call itself. Not flagged.
+func (x *Index) Delete(id uint64) error {
+	if _, ok := x.objects[id]; !ok {
+		return errUnknown
+	}
+	delete(x.objects, id)
+	return x.logAppend(wal.TypeDelete, nil)
+}
+
+// UpdateBatch tails into a same-package helper that never logs.
+func (x *Index) UpdateBatch(ids []uint64) error {
+	for range ids {
+	}
+	return x.rebalance() // want `UpdateBatch acknowledges success without reaching the WAL`
+}
+
+// Sharded logs per shard from inside goroutine closures, like the
+// real ShardedIndex batch path; the lexical check sees those calls.
+type Sharded struct {
+	logs []*wal.Log
+}
+
+func (s *Sharded) logTo(shard int, typ wal.Type, ops []wal.Op) error {
+	return s.logs[shard].AppendAsync(typ, ops)
+}
+
+// Update fans out and logs inside the closures. Not flagged.
+func (s *Sharded) Update(id uint64) error {
+	done := make(chan error, len(s.logs))
+	for i := range s.logs {
+		go func(i int) { done <- s.logTo(i, wal.TypeUpdate, nil) }(i)
+	}
+	for range s.logs {
+		if err := <-done; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Plain carries no WAL; its mutation methods are out of scope.
+type Plain struct {
+	n int
+}
+
+// Insert on a WAL-less type is not checked. Not flagged.
+func (p *Plain) Insert(id uint64) error {
+	p.n++
+	return nil
+}

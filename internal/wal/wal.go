@@ -227,11 +227,11 @@ func Open(dir string, opts Options) (*Log, error) {
 			return nil, fmt.Errorf("wal: %w", err)
 		}
 		if err := f.Truncate(tailEnd); err != nil {
-			f.Close()
+			_ = f.Close() // error path: the preceding failure is the one to surface
 			return nil, fmt.Errorf("wal: truncating torn tail: %w", err)
 		}
 		if _, err := f.Seek(0, io.SeekEnd); err != nil {
-			f.Close()
+			_ = f.Close() // error path: the preceding failure is the one to surface
 			return nil, fmt.Errorf("wal: %w", err)
 		}
 		l.f, l.segIdx, l.segSize = f, seg.idx, tailEnd
@@ -284,15 +284,15 @@ func (l *Log) newSegmentLocked(idx int) error {
 		return fmt.Errorf("wal: %w", err)
 	}
 	if _, err := f.Write(segMagic[:]); err != nil {
-		f.Close()
+		_ = f.Close() // error path: the preceding failure is the one to surface
 		return fmt.Errorf("wal: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // error path: the preceding failure is the one to surface
 		return fmt.Errorf("wal: %w", err)
 	}
 	if err := syncDir(l.dir); err != nil {
-		f.Close()
+		_ = f.Close() // error path: the preceding failure is the one to surface
 		return err
 	}
 	l.f, l.segIdx, l.segSize = f, idx, headerSize

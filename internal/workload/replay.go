@@ -9,6 +9,7 @@ import (
 	"os"
 	"sort"
 
+	"burtree/internal/atomicfile"
 	"burtree/internal/geom"
 )
 
@@ -170,17 +171,12 @@ func ReadMixedTrace(r io.Reader) (*MixedTrace, error) {
 	return &t, nil
 }
 
-// WriteFile saves the trace to a file.
+// WriteFile saves the trace to a file atomically (temp+fsync+rename):
+// a crash mid-write must not leave a torn trace that
+// ReadMixedTraceFile misparses, and never clobbers an archived trace
+// with a partial one.
 func (t *MixedTrace) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := t.Write(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return atomicfile.Write(path, t.Write)
 }
 
 // ReadMixedTraceFile loads a trace from a file.

@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 
+	"burtree/internal/atomicfile"
 	"burtree/internal/geom"
 )
 
@@ -57,17 +58,11 @@ func ReadTrace(r io.Reader) (*Trace, error) {
 	return &t, nil
 }
 
-// WriteFile saves the trace to a file.
+// WriteFile saves the trace to a file atomically (temp+fsync+rename):
+// a crash mid-write must not leave a torn trace that ReadTraceFile
+// misparses, and never clobbers an archived trace with a partial one.
 func (t *Trace) WriteFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := t.Write(f); err != nil {
-		return err
-	}
-	return f.Close()
+	return atomicfile.Write(path, t.Write)
 }
 
 // ReadTraceFile loads a trace from a file.

@@ -8,9 +8,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"sort"
 
+	"burtree/internal/atomicfile"
 	"burtree/internal/buffer"
 	"burtree/internal/concurrent"
 	"burtree/internal/core"
@@ -271,44 +271,12 @@ func (x *ShardedIndex) SaveFile(path string) error {
 	return saveToFile(path, x.Save)
 }
 
-// saveToFile writes a snapshot atomically: the bytes go to a temp file
-// in the destination's directory, are fsynced, and only then renamed
-// over the destination. A failure at any point leaves the previous
-// snapshot intact and removes the temp file — the destination is never
-// truncated before its replacement is safely on disk.
-func saveToFile(path string, save func(io.Writer) error) (err error) {
-	dir := filepath.Dir(path)
-	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	defer func() {
-		if err != nil {
-			f.Close()
-			os.Remove(tmp)
-		}
-	}()
-	if err = save(f); err != nil {
-		return err
-	}
-	if err = f.Sync(); err != nil {
-		return err
-	}
-	if err = f.Close(); err != nil {
-		return err
-	}
-	if err = os.Rename(tmp, path); err != nil {
-		return err
-	}
-	// Persist the rename itself; without this a crash can roll the
-	// directory entry back to the old snapshot (which is still fine) or
-	// to nothing on filesystems that reorder metadata.
-	if d, derr := os.Open(dir); derr == nil {
-		d.Sync()
-		d.Close()
-	}
-	return nil
+// saveToFile writes a snapshot atomically through the shared
+// temp+fsync+rename helper: a failure at any point leaves the previous
+// snapshot intact — the destination is never truncated before its
+// replacement is safely on disk.
+func saveToFile(path string, save func(io.Writer) error) error {
+	return atomicfile.Write(path, save)
 }
 
 // readMagic consumes and returns the 8-byte envelope magic.
