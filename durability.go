@@ -411,5 +411,9 @@ func RecoverSharded(opts Options, sopts ShardOptions) (*ShardedIndex, error) {
 		x.wals[i] = log
 	}
 	x.options.Durability = d
+	// Rebalancing, like the delta tier, is the caller's runtime choice
+	// rather than snapshot state: apply it last so the background loop
+	// never races the replay.
+	x.SetRebalance(sopts.Rebalance)
 	return x, nil
 }

@@ -172,7 +172,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"fig5a", "fig5b", "fig5c", "fig5d", "fig5e", "fig5f", "fig5g", "fig5h",
 		"fig6a", "fig6b", "fig6c", "fig6d", "fig6e", "fig6f", "fig6g", "fig6h",
-		"fig7a", "fig7b", "fig8", "mixed", "shard", "wal", "memtable", "batch", "naive", "table-summary-size", "cost",
+		"fig7a", "fig7b", "fig8", "mixed", "shard", "wal", "memtable", "batch", "naive", "skew", "table-summary-size", "cost",
 		"ablation-piggyback", "ablation-summary-queries", "ablation-splits",
 	}
 	reg := Registry()

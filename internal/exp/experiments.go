@@ -79,6 +79,7 @@ func Registry() []Experiment {
 		{"fig8", "Figure 8", "Throughput for varying update/query mix (50 threads, DGL)", run("fig8")},
 		{"mixed", "beyond §5.4", "Mixed read/write sweep: throughput and per-op I/O vs query fraction", run("mixed")},
 		{"shard", "beyond §5.4", "Sharded scatter-gather: update throughput vs shard count x goroutines", run("shard")},
+		{"skew", "beyond §5.4", "Zipfian hotspot workload: static grid vs adaptive rebalancing", run("skew")},
 		{"wal", "beyond §5", "Durable updates: throughput vs commit policy x goroutines", run("wal")},
 		{"memtable", "beyond §5", "Memtable delta tier: durable update throughput vs tier size x goroutines", run("memtable")},
 		{"batch", "beyond §5", "Batched bottom-up updates: disk I/O and throughput vs batch size", run("batch")},
@@ -179,6 +180,8 @@ func computeBundle(bundle string, s Scale, seed int64) (map[string]*Table, error
 		return bundleMixed(s, seed)
 	case "shard":
 		return bundleShard(s, seed)
+	case "skew":
+		return bundleSkew(s, seed)
 	case "wal":
 		return bundleWal(s, seed)
 	case "memtable":

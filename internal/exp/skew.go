@@ -1,0 +1,349 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"burtree"
+	"burtree/internal/core"
+	"burtree/internal/workload"
+)
+
+// The skew experiment measures what hotspot traffic does to the sharded
+// index and whether the adaptive rebalancer earns its keep: the update
+// stream selects objects zipfian over ranks (θ sweeps from the paper's
+// uniform selection to heavily skewed) while hotspot drift concentrates
+// the hot set around wandering attractor points. A static grid
+// partition then funnels most of the traffic through whichever shards
+// own the attractors; the adaptive arm runs the online rebalancer,
+// which upgrades the partition to load-balanced Hilbert ranges and
+// keeps nudging boundaries as the hotspots wander.
+
+// skewThetas is the zipf-θ sweep of the skew experiment.
+var skewThetas = []float64{0, 0.6, 0.9, 1.1}
+
+// skewDebug prints per-round timing; calibration aid only.
+const skewDebug = false
+
+// skewHotspots is the number of wandering attractor points. Fewer
+// hotspots than shards means a static partition cannot help but leave
+// some shards cold while the shards owning the attractors saturate; a
+// load-balanced partition isolates each hot cluster with a slice of
+// the cold space.
+const skewHotspots = 5
+
+// SkewSweepConfig drives one cell of the skew experiment.
+type SkewSweepConfig struct {
+	Theta        float64 // zipf exponent of object selection
+	Adaptive     bool    // run the online rebalancer
+	Shards       int
+	Workers      int
+	NumObjects   int
+	Updates      int // total update operations across all workers
+	BatchSize    int // updates per UpdateBatch call
+	Hotspots     int
+	HotspotDrift float64 // attractor wander speed (workload.Spec.HotspotDrift)
+	MaxDist      float64
+	IOLatency    time.Duration
+	BufferPages  int // total across shards (divided internally)
+	Seed         int64
+}
+
+// SkewSweepResult is one cell's outcome.
+type SkewSweepResult struct {
+	UpdatesPerSec float64
+	Elapsed       time.Duration // apply time of the measured rounds
+	RebalanceDur  time.Duration // total Rebalance() time, reported separately
+	Updates       int
+	CrossShard    int    // applied moves that crossed a shard boundary
+	RouterEpoch   uint64 // boundary changes performed (0 = never rebalanced)
+}
+
+// RunSkewSweep bulk-loads a sharded GBU index (grid partition), replays
+// a pre-generated zipfian hotspot update stream from a worker pool and
+// reports update throughput. The stream is generated up front — its
+// cost must not pollute the measurement — and split by object id so
+// per-object ordering stays externally serialized, as the API requires
+// of concurrent writers.
+func RunSkewSweep(cfg SkewSweepConfig) (SkewSweepResult, error) {
+	var res SkewSweepResult
+	if cfg.Workers > cfg.NumObjects {
+		cfg.Workers = cfg.NumObjects
+	}
+	sopts := burtree.ShardOptions{Shards: cfg.Shards, Partition: burtree.ShardGrid}
+	if cfg.Adaptive {
+		// The adaptive arm drives Rebalance explicitly between rounds (see
+		// below), which keeps the step count deterministic; Enabled stays
+		// false so no background ticker races the measurement. MinOps is
+		// set below the default so a bench-scale round qualifies as a
+		// sampling window, and the trigger threshold is slightly lower
+		// than the default: a hot cluster pair over 8 shards already
+		// doubles the fair share. Cooldown keeps the rebalancer from
+		// chasing its own wake — a boundary change disturbs the very
+		// signal it triggers on (cold buffers, re-forming shares), so two
+		// windows pass before the next step. That still leaves room for
+		// follow-up nudges, which matter here: the upgrade happens while
+		// the hot set is still physically converging on the attractors,
+		// and the later nudges correct the boundaries once it has.
+		sopts.Rebalance = burtree.RebalanceOptions{MinOps: 64, HotFactor: 1.25, MaxStep: 256, Cooldown: 2}
+	}
+	idx, err := burtree.OpenSharded(burtree.Options{
+		Strategy:        burtree.GeneralizedBottomUp,
+		ExpectedObjects: cfg.NumObjects,
+		BufferPages:     cfg.BufferPages,
+	}, sopts)
+	if err != nil {
+		return res, err
+	}
+	defer idx.Close()
+
+	gen := workload.NewGenerator(workload.Spec{
+		NumObjects:   cfg.NumObjects,
+		MaxDistance:  cfg.MaxDist,
+		Seed:         cfg.Seed,
+		ZipfTheta:    cfg.Theta,
+		Hotspots:     cfg.Hotspots,
+		HotspotDrift: cfg.HotspotDrift,
+	})
+	init := gen.Positions()
+	ids := make([]uint64, cfg.NumObjects)
+	pts := make([]burtree.Point, cfg.NumObjects)
+	for i := range ids {
+		ids[i] = uint64(i)
+		pts[i] = burtree.Point(init[i])
+	}
+	if err := idx.BulkInsert(ids, pts, burtree.PackSTR); err != nil {
+		return res, err
+	}
+	idx.SetIOLatency(cfg.IOLatency)
+	defer idx.SetIOLatency(0)
+
+	// Pre-generate the stream in rounds, fanned out by object id: the
+	// same object always lands on the same worker, in generation order.
+	// The adaptive arm closes one load-sampling window per round and
+	// takes at most one bounded rebalance step between rounds, starting
+	// at the end of warmup so the first step sees a load histogram from
+	// objects that have begun converging on the attractors rather than
+	// the initial uniform smear. Throughput is the median measured-round
+	// rate; migration I/O is accounted separately (RebalanceDur) rather
+	// than folded into one arbitrary round — it is a one-time adoption
+	// cost that production amortizes over hours, and burying it in
+	// whichever θ cell happens to cross the trigger threshold mid-run
+	// would make cells incomparable. The first rounds are warmup for
+	// both arms: the hot set needs repeated touches before it physically
+	// concentrates, so the steady skewed state is what gets measured.
+	const rounds, warmup = 10, 2
+	perRound := (cfg.Updates + rounds - 1) / rounds
+	streams := make([][][]burtree.Change, rounds)
+	roundOps := make([]int, rounds)
+	generated, measured := 0, 0
+	for r := 0; r < rounds; r++ {
+		streams[r] = make([][]burtree.Change, cfg.Workers)
+		for i := 0; i < perRound && generated < cfg.Updates; i++ {
+			u := gen.NextUpdate()
+			w := int(u.OID) % cfg.Workers
+			streams[r][w] = append(streams[r][w], burtree.Change{ID: uint64(u.OID), To: burtree.Point(u.New)})
+			generated++
+			roundOps[r]++
+			if r >= warmup {
+				measured++
+			}
+		}
+	}
+
+	crossCh := make(chan int, 1024)
+	crossDone := make(chan struct{})
+	go func() {
+		defer close(crossDone)
+		for c := range crossCh {
+			res.CrossShard += c
+		}
+	}()
+	var applySum time.Duration
+	var roundRates []float64
+	for r := 0; r < rounds; r++ {
+		if r == warmup && skewDebug {
+			idx.ResetStats()
+		}
+		roundStart := time.Now()
+		errCh := make(chan error, cfg.Workers)
+		var wg sync.WaitGroup
+		for w := 0; w < cfg.Workers; w++ {
+			wg.Add(1)
+			go func(stream []burtree.Change) {
+				defer wg.Done()
+				for len(stream) > 0 {
+					n := cfg.BatchSize
+					if n > len(stream) {
+						n = len(stream)
+					}
+					br, err := idx.UpdateBatch(stream[:n])
+					if err != nil {
+						errCh <- err
+						return
+					}
+					crossCh <- br.CrossShard
+					stream = stream[n:]
+				}
+			}(streams[r][w])
+		}
+		wg.Wait()
+		select {
+		case err := <-errCh:
+			return res, err
+		default:
+		}
+		applyDur := time.Since(roundStart)
+		if r >= warmup && roundOps[r] > 0 {
+			applySum += applyDur
+			roundRates = append(roundRates, float64(roundOps[r])/applyDur.Seconds())
+		}
+		var rebDur time.Duration
+		var movedN int
+		if cfg.Adaptive && r >= warmup-1 && r < rounds-1 {
+			rebStart := time.Now()
+			moved, err := idx.Rebalance()
+			if err != nil {
+				return res, err
+			}
+			rebDur = time.Since(rebStart)
+			res.RebalanceDur += rebDur
+			movedN = moved
+		}
+		if skewDebug {
+			fmt.Printf("[diag θ=%g adaptive=%v] r=%d apply=%v rebalance=%v moved=%d epoch=%d lens=%v\n",
+				cfg.Theta, cfg.Adaptive, r, applyDur, rebDur, movedN, idx.RouterEpoch(), idx.ShardLens())
+		}
+	}
+	res.Elapsed = applySum
+	if skewDebug {
+		st, _ := idx.Stats()
+		fmt.Printf("[diag θ=%g adaptive=%v] outcomes=%+v reads=%d writes=%d hits=%d splits=%d\n",
+			cfg.Theta, cfg.Adaptive, st.Outcomes, st.DiskReads, st.DiskWrites, st.BufferHits, st.Splits)
+	}
+	close(crossCh)
+	<-crossDone
+	idx.SetIOLatency(0)
+	if err := idx.CheckInvariants(); err != nil {
+		return res, fmt.Errorf("exp: skew sweep invariants: %w", err)
+	}
+	res.Updates = measured
+	// Median round rate, not total/elapsed: the background memtable
+	// merge-down occasionally dumps its I/O into one unlucky round, and
+	// a sum hands that round veto power over the whole cell.
+	res.UpdatesPerSec = median(roundRates)
+	res.RouterEpoch = idx.RouterEpoch()
+	return res, nil
+}
+
+// median returns the middle value of vs (mean of the two middle values
+// for even lengths); zero for an empty slice.
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// bundleSkew runs the θ sweep twice — static grid partition vs adaptive
+// rebalancing — and reports update throughput plus the adaptive/static
+// ratio and the number of boundary changes the adaptive arm performed.
+func bundleSkew(s Scale, seed int64) (map[string]*Table, error) {
+	cols := make([]string, len(skewThetas))
+	for i, th := range skewThetas {
+		cols[i] = fmt.Sprintf("θ=%g", th)
+	}
+	t := &Table{
+		ID:      "skew",
+		Title:   "Zipfian hotspot workload: update throughput (updates/s), static grid vs adaptive rebalancing",
+		XLabel:  "zipf exponent θ (object selection; movement drifts toward wandering hotspots)",
+		YLabel:  "updates/s (batched updates, 128 goroutines, 8 shards)",
+		Columns: cols,
+	}
+	// 0.5% of the database pages: small enough that the hot set does not
+	// vanish into the buffer pool (which would make the partition moot —
+	// at high θ a generous buffer plus the memtable absorbs nearly all
+	// hot traffic on whichever shard owns it), large enough that cold
+	// traffic still sees realistic hit rates.
+	buffer := int(0.005 * float64(estimateDBPages(Config{Strategy: core.GBU, NumObjects: s.Objects}.WithDefaults())))
+	rows := map[string][]float64{}
+	crossRows := map[string][]float64{}
+	var epochs, rebCost []float64
+	for _, adaptive := range []bool{false, true} {
+		label := "static"
+		if adaptive {
+			label = "adaptive"
+		}
+		var row []float64
+		for _, th := range skewThetas {
+			r, err := RunSkewSweep(SkewSweepConfig{
+				Theta:      th,
+				Adaptive:   adaptive,
+				Shards:     8,
+				Workers:    128,
+				NumObjects: s.Objects,
+				// 4× the scale's nominal op count: skew needs enough rounds for
+				// the hot set to converge and the rebalancer to adapt, with a
+				// usable median over the measured rounds.
+				Updates: s.Ops * 4,
+				// Small batches model a latency-sensitive deployment where
+				// writers acknowledge every few updates. The batch size is
+				// also the coalescing window: by 16 changes per batch the
+				// zipf-hot objects collapse into a handful of near-free
+				// in-buffer updates, and whichever shard owns them looks
+				// cheap no matter how many ops it absorbs — op balance and
+				// I/O balance reconnect when batches stay small.
+				BatchSize: 4,
+				Hotspots:  skewHotspots,
+				// A bench run compresses what would be hours of update
+				// traffic into seconds, but the attractors' default wander
+				// speed is tied to the object step length — compressed, the
+				// hotspots sprint across the map instead of creeping. Slow
+				// them to a timescale consistent with the compression so
+				// "where the load is" remains a property of the workload
+				// rather than noise within a single measurement window.
+				HotspotDrift: 0.1,
+				// Unscaled: the hot set must physically converge onto the
+				// attractors within its touch budget, which takes ~0.5/0.012
+				// ≈ 40 touches at the paper's nominal movement speed. The
+				// usual 1/sqrt(N) length scaling would stretch that into the
+				// hundreds and no bench-scale object would ever arrive.
+				MaxDist:     0.03,
+				IOLatency:   time.Duration(s.IOLatencyU) * time.Microsecond,
+				BufferPages: buffer,
+				Seed:        seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("%s θ=%g: %w", label, th, err)
+			}
+			row = append(row, r.UpdatesPerSec)
+			crossRows[label] = append(crossRows[label], float64(r.CrossShard))
+			if adaptive {
+				epochs = append(epochs, float64(r.RouterEpoch))
+				rebCost = append(rebCost, r.RebalanceDur.Seconds())
+			}
+		}
+		rows[label] = row
+		t.AddRow(label, row)
+	}
+	ratio := make([]float64, len(skewThetas))
+	for i := range ratio {
+		if rows["static"][i] > 0 {
+			ratio[i] = rows["adaptive"][i] / rows["static"][i]
+		}
+	}
+	t.AddRow("adaptive/static", ratio)
+	t.AddRow("boundary changes (adaptive)", epochs)
+	t.AddRow("rebalance cost (s, adaptive)", rebCost)
+	t.AddRow("cross-shard moves (static)", crossRows["static"])
+	t.AddRow("cross-shard moves (adaptive)", crossRows["adaptive"])
+	return map[string]*Table{"skew": t}, nil
+}

@@ -1,0 +1,131 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// LoadTracker accumulates per-shard operation counts and a per-Hilbert-
+// cell update histogram, and maintains a windowed EWMA of each shard's
+// share of the recent load. The counters are atomics so the sharded
+// front-end can record from its per-shard worker goroutines without
+// extra locking; Sample/Shares snapshots are serialized by a mutex.
+//
+// The EWMA is sample-indexed, not wall-clock-indexed: every Sample call
+// closes one window, computes each shard's share of the operations that
+// arrived during the window and folds it in with weight ½. Rebalancing
+// decisions therefore depend only on the operation stream, which keeps
+// tests deterministic and the tracker free of time arithmetic.
+type LoadTracker struct {
+	updates []atomic.Uint64 // per-shard update ops (insert/update/delete), cumulative
+	queries []atomic.Uint64 // per-shard read ops (search/nearest visits), cumulative
+	cells   []atomic.Uint64 // per-Hilbert-cell update counts, cumulative
+
+	mu      sync.Mutex
+	last    []uint64  // updates+queries snapshot at the previous Sample
+	ewma    []float64 // EWMA of per-shard load share
+	sampled bool      // true once the first window has closed
+}
+
+// NewLoadTracker builds a tracker for n shards.
+func NewLoadTracker(n int) *LoadTracker {
+	return &LoadTracker{
+		updates: make([]atomic.Uint64, n),
+		queries: make([]atomic.Uint64, n),
+		cells:   make([]atomic.Uint64, NumCells),
+		last:    make([]uint64, n),
+		ewma:    make([]float64, n),
+	}
+}
+
+// NumShards returns the tracked shard count.
+func (t *LoadTracker) NumShards() int { return len(t.updates) }
+
+// RecordUpdates adds n update operations to shard s and the cell
+// histogram at curve position cell.
+func (t *LoadTracker) RecordUpdates(s int, cell uint64, n int) {
+	t.updates[s].Add(uint64(n))
+	t.cells[cell].Add(uint64(n))
+}
+
+// RecordQuery adds one read operation to shard s.
+func (t *LoadTracker) RecordQuery(s int) { t.queries[s].Add(1) }
+
+// UpdateCount returns shard s's cumulative update-operation count.
+func (t *LoadTracker) UpdateCount(s int) uint64 { return t.updates[s].Load() }
+
+// QueryCount returns shard s's cumulative read-operation count.
+func (t *LoadTracker) QueryCount(s int) uint64 { return t.queries[s].Load() }
+
+// Sample closes the current window: it computes each shard's share of
+// the operations recorded since the previous Sample, folds the shares
+// into the EWMA with weight ½, and returns the updated EWMA plus the
+// window's operation count. A window with no operations leaves the EWMA
+// untouched.
+func (t *LoadTracker) Sample() (shares []float64, ops uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.updates)
+	cur := make([]uint64, n)
+	var total uint64
+	for i := 0; i < n; i++ {
+		cur[i] = t.updates[i].Load() + t.queries[i].Load()
+		total += cur[i] - t.last[i]
+	}
+	if total > 0 {
+		for i := 0; i < n; i++ {
+			share := float64(cur[i]-t.last[i]) / float64(total)
+			if t.sampled {
+				t.ewma[i] = 0.5*t.ewma[i] + 0.5*share
+			} else {
+				t.ewma[i] = share
+			}
+		}
+		t.sampled = true
+		copy(t.last, cur)
+	}
+	return append([]float64(nil), t.ewma...), total
+}
+
+// Shares returns the current EWMA load shares without closing a window.
+func (t *LoadTracker) Shares() []float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]float64(nil), t.ewma...)
+}
+
+// CellLoads snapshots the per-cell update histogram (len == NumCells).
+func (t *LoadTracker) CellLoads() []uint64 {
+	out := make([]uint64, len(t.cells))
+	for i := range t.cells {
+		out[i] = t.cells[i].Load()
+	}
+	return out
+}
+
+// DecayCells halves every cell count so past hotspots fade from the
+// histogram instead of anchoring boundaries forever. Called after each
+// rebalance step while the front-end holds its exclusive gate.
+func (t *LoadTracker) DecayCells() {
+	for i := range t.cells {
+		for {
+			v := t.cells[i].Load()
+			if t.cells[i].CompareAndSwap(v, v/2) {
+				break
+			}
+		}
+	}
+}
+
+// ResetShares forgets the EWMA history and restarts the current window
+// at the present counter values. Called after a boundary change: the old
+// shares describe shards that no longer exist.
+func (t *LoadTracker) ResetShares() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.ewma {
+		t.ewma[i] = 0
+		t.last[i] = t.updates[i].Load() + t.queries[i].Load()
+	}
+	t.sampled = false
+}

@@ -1,0 +1,214 @@
+package shard
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"burtree/internal/geom"
+)
+
+func TestCellKeyRange(t *testing.T) {
+	pts := []geom.Point{
+		{X: 0, Y: 0}, {X: 1, Y: 1}, {X: 0.5, Y: 0.5},
+		{X: -3, Y: 2}, {X: 0.999, Y: 0.001},
+	}
+	for _, p := range pts {
+		k := CellKey(p)
+		if k >= NumCells {
+			t.Fatalf("CellKey(%v) = %d out of range", p, k)
+		}
+	}
+	// CellKey must agree with Hilbert routing: the shard owning p is the
+	// shard owning p's cell key.
+	r, err := NewHilbertUniform(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pts {
+		if got, want := r.shardOfKey(CellKey(p)), r.ShardOf(p); got != want {
+			t.Fatalf("CellKey routing mismatch at %v: %d vs %d", p, got, want)
+		}
+	}
+}
+
+func TestBoundsAccessor(t *testing.T) {
+	g, _ := NewGrid(4)
+	if g.Bounds() != nil {
+		t.Fatal("grid router reports bounds")
+	}
+	h, _ := NewHilbertUniform(4)
+	b := h.Bounds()
+	if len(b) != 3 {
+		t.Fatalf("bounds len = %d", len(b))
+	}
+	b[0] = 9999 // mutation must not leak into the router
+	if h.Bounds()[0] == 9999 {
+		t.Fatal("Bounds returned internal slice")
+	}
+}
+
+func TestNewHilbertBounds(t *testing.T) {
+	r, err := NewHilbertBounds([]uint64{100, 500, 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NumShards() != 4 || r.Scheme() != HilbertRange {
+		t.Fatalf("router = %d shards scheme %v", r.NumShards(), r.Scheme())
+	}
+	if _, err := NewHilbertBounds([]uint64{500, 500}); err == nil {
+		t.Fatal("non-increasing bounds accepted")
+	}
+	if _, err := NewHilbertBounds([]uint64{NumCells}); err == nil {
+		t.Fatal("out-of-range bound accepted")
+	}
+}
+
+func TestLoadQuantileBounds(t *testing.T) {
+	// All load in one cell: the boundaries must still be strictly
+	// increasing and valid router input.
+	cells := make([]uint64, NumCells)
+	cells[300] = 1_000_000
+	b, err := LoadQuantileBounds(8, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHilbertBounds(b); err != nil {
+		t.Fatalf("quantile bounds rejected by router: %v", err)
+	}
+	// The hot cell must sit in a narrow range: its owning shard's curve
+	// range should be far smaller than the uniform 1/8 split.
+	r, _ := NewHilbertBounds(b)
+	hot := r.shardOfKey(300)
+	lo, hi := uint64(0), uint64(NumCells)
+	if hot > 0 {
+		lo = b[hot-1]
+	}
+	if hot < len(b) {
+		hi = b[hot]
+	}
+	if hi-lo > NumCells/16 {
+		t.Fatalf("hot shard owns %d cells, want a narrow range", hi-lo)
+	}
+
+	// Uniform load: quantile bounds must approximate the uniform split.
+	for i := range cells {
+		cells[i] = 10
+	}
+	b, err = LoadQuantileBounds(4, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []uint64{256, 512, 768} {
+		if math.Abs(float64(b[i])-float64(want)) > 4 {
+			t.Fatalf("uniform quantile bound %d = %d, want ≈ %d", i, b[i], want)
+		}
+	}
+
+	if _, err := LoadQuantileBounds(4, make([]uint64, 10)); err == nil {
+		t.Fatal("short histogram accepted")
+	}
+}
+
+func TestLoadTrackerSampleEWMA(t *testing.T) {
+	tr := NewLoadTracker(4)
+	tr.RecordUpdates(0, 5, 30)
+	tr.RecordUpdates(1, 900, 10)
+	shares, ops := tr.Sample()
+	if ops != 40 {
+		t.Fatalf("window ops = %d, want 40", ops)
+	}
+	if shares[0] != 0.75 || shares[1] != 0.25 || shares[2] != 0 {
+		t.Fatalf("first-window shares = %v", shares)
+	}
+	// Second window: all load on shard 2 → EWMA folds with weight ½.
+	for i := 0; i < 20; i++ {
+		tr.RecordQuery(2)
+	}
+	shares, ops = tr.Sample()
+	if ops != 20 {
+		t.Fatalf("second window ops = %d", ops)
+	}
+	if shares[0] != 0.375 || shares[2] != 0.5 {
+		t.Fatalf("EWMA shares = %v", shares)
+	}
+	// Empty window leaves the EWMA untouched.
+	again, ops := tr.Sample()
+	if ops != 0 || again[0] != 0.375 {
+		t.Fatalf("empty window changed shares: %v (ops %d)", again, ops)
+	}
+	if got := tr.UpdateCount(0); got != 30 {
+		t.Fatalf("UpdateCount(0) = %d", got)
+	}
+	if got := tr.QueryCount(2); got != 20 {
+		t.Fatalf("QueryCount(2) = %d", got)
+	}
+}
+
+func TestLoadTrackerCells(t *testing.T) {
+	tr := NewLoadTracker(2)
+	tr.RecordUpdates(0, 7, 8)
+	tr.RecordUpdates(1, 7, 4)
+	cl := tr.CellLoads()
+	if cl[7] != 12 {
+		t.Fatalf("cell 7 load = %d", cl[7])
+	}
+	tr.DecayCells()
+	if cl = tr.CellLoads(); cl[7] != 6 {
+		t.Fatalf("decayed cell 7 load = %d", cl[7])
+	}
+}
+
+func TestLoadTrackerResetShares(t *testing.T) {
+	tr := NewLoadTracker(2)
+	tr.RecordUpdates(0, 0, 100)
+	tr.Sample()
+	tr.ResetShares()
+	if s := tr.Shares(); s[0] != 0 || s[1] != 0 {
+		t.Fatalf("shares after reset = %v", s)
+	}
+	// The reset also restarts the window: the old 100 ops must not count
+	// toward the next sample.
+	tr.RecordUpdates(1, 0, 10)
+	shares, ops := tr.Sample()
+	if ops != 10 || shares[1] != 1 {
+		t.Fatalf("post-reset window = %v (ops %d)", shares, ops)
+	}
+}
+
+func TestLoadTrackerConcurrent(t *testing.T) {
+	tr := NewLoadTracker(4)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.RecordUpdates(w%4, uint64(i%NumCells), 1)
+				tr.RecordQuery(w % 4)
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				tr.Sample()
+				tr.Shares()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	tr.Sample()
+	var tot uint64
+	for s := 0; s < 4; s++ {
+		tot += tr.UpdateCount(s) + tr.QueryCount(s)
+	}
+	if tot != 16000 {
+		t.Fatalf("total recorded ops = %d, want 16000", tot)
+	}
+}

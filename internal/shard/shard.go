@@ -62,6 +62,11 @@ const hilbertSide = 1 << hilbertOrder
 // costs (buffer pool, hash directory, lock table) dominate.
 const MaxShards = 256
 
+// NumCells is the number of Hilbert cells the load tracker and the
+// balanced-bounds builders histogram over (one per cell of the routing
+// grid).
+const NumCells = hilbertSide * hilbertSide
+
 // Router maps points and rectangles to shards.
 type Router struct {
 	scheme Scheme
@@ -150,6 +155,115 @@ func NewHilbertBalanced(n int, sample []geom.Point) (*Router, error) {
 	return r, nil
 }
 
+// NewHilbertBounds builds an n-shard Hilbert-range router from explicit
+// curve boundaries (len(bounds) == n-1, strictly increasing within
+// (0, NumCells)). This is how the rebalancer installs nudged boundaries;
+// validation matches FromSpec so a bad nudge fails loudly.
+func NewHilbertBounds(bounds []uint64) (*Router, error) {
+	return FromSpec(Spec{Scheme: HilbertRange, Shards: len(bounds) + 1, Bounds: bounds})
+}
+
+// LoadQuantileBounds computes n-shard Hilbert boundaries as load
+// quantiles over a per-cell histogram (indexed by curve position,
+// len == NumCells): each shard's range receives ≈ 1/n of the observed
+// load. Every cell is smoothed by +1 so unobserved space still spreads
+// across shards instead of collapsing into one range; ties fall back to
+// the next free curve position, exactly like NewHilbertBalanced.
+func LoadQuantileBounds(n int, cellLoad []uint64) ([]uint64, error) {
+	if err := checkShards(n); err != nil {
+		return nil, err
+	}
+	if len(cellLoad) != NumCells {
+		return nil, fmt.Errorf("shard: cell histogram has %d cells, want %d", len(cellLoad), NumCells)
+	}
+	total := uint64(0)
+	for _, c := range cellLoad {
+		total += c + 1
+	}
+	bounds := make([]uint64, n-1)
+	acc := uint64(0)
+	next := 0 // next boundary to place
+	for cell := 0; cell < NumCells && next < len(bounds); cell++ {
+		before := acc
+		acc += cellLoad[cell] + 1
+		// Place every boundary whose load quantile this cell crosses —
+		// before the cell when the pre-cell cumulative is closer to the
+		// target, which isolates a cell heavy enough to cross several
+		// quantiles on its own into a minimal range instead of gluing the
+		// whole cold prefix to it.
+		for next < len(bounds) && acc >= uint64(next+1)*total/uint64(n) {
+			target := uint64(next+1) * total / uint64(n)
+			b := uint64(cell + 1)
+			if target-before < acc-target {
+				b = uint64(cell)
+			}
+			bounds[next] = b
+			next++
+		}
+	}
+	// Enforce strict monotonicity within (0, NumCells): heavy
+	// concentration can put several quantiles in one cell.
+	prev := uint64(0)
+	for i := range bounds {
+		b := bounds[i]
+		if b <= prev {
+			b = prev + 1
+		}
+		if max := uint64(NumCells) - uint64(n-1-i); b > max {
+			b = max
+		}
+		bounds[i] = b
+		prev = b
+	}
+	// Snap each cut to the load valley nearest its quantile position: a
+	// boundary flanked by hot cells sits inside a cluster, and objects
+	// orbiting there cross shards on every other move. Minimizing the
+	// load adjacent to the cut keeps clusters whole on one side at the
+	// cost of at most snapWindow cells of balance. Ties (uniform load)
+	// keep the exact quantile position.
+	prev = 0
+	for i := range bounds {
+		lo, hi := bounds[i], bounds[i]
+		if lo > snapWindow && lo-snapWindow > prev {
+			lo = bounds[i] - snapWindow
+		} else {
+			lo = prev + 1
+		}
+		if max := uint64(NumCells) - uint64(n-1-i); hi+snapWindow <= max {
+			hi = bounds[i] + snapWindow
+		} else {
+			hi = max
+		}
+		start := bounds[i]
+		if start < lo {
+			start = lo
+		} else if start > hi {
+			start = hi
+		}
+		best, bestScore := start, cellLoad[start-1]+cellLoad[start]
+		for b := lo; b <= hi; b++ {
+			score := cellLoad[b-1] + cellLoad[b]
+			if score < bestScore || (score == bestScore && absDiff(b, bounds[i]) < absDiff(best, bounds[i])) {
+				best, bestScore = b, score
+			}
+		}
+		bounds[i] = best
+		prev = best
+	}
+	return bounds, nil
+}
+
+// snapWindow is how far (in Hilbert cells) a quantile cut may move to
+// settle in a load valley.
+const snapWindow = 8
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
 func checkShards(n int) error {
 	if n < 1 || n > MaxShards {
 		return fmt.Errorf("shard: shard count %d outside [1, %d]", n, MaxShards)
@@ -169,6 +283,25 @@ func (r *Router) NumShards() int { return r.n }
 // window (see ShardsFor).
 func cellOf(p geom.Point, side int) (int, int) {
 	return geom.ClampCell(p.X, side), geom.ClampCell(p.Y, side)
+}
+
+// CellKey returns p's Hilbert curve position at routing-cell granularity
+// (in [0, NumCells)). It is scheme-independent: load histograms are kept
+// in curve space even while a grid router is installed, so a grid
+// partition can upgrade to load-balanced Hilbert ranges without
+// re-observing the workload.
+func CellKey(p geom.Point) uint64 {
+	cx, cy := cellOf(p, hilbertSide)
+	return hilbert.D(uint32(cx), uint32(cy), hilbertOrder)
+}
+
+// Bounds returns a copy of the Hilbert range boundaries (nil for a grid
+// router).
+func (r *Router) Bounds() []uint64 {
+	if r.bounds == nil {
+		return nil
+	}
+	return append([]uint64(nil), r.bounds...)
 }
 
 // ShardOf returns the shard owning p.

@@ -5,12 +5,12 @@ import (
 	"encoding/gob"
 	"fmt"
 	"io"
-	"math"
 	"os"
 	"sort"
 
 	"burtree/internal/atomicfile"
 	"burtree/internal/geom"
+	"burtree/internal/rtree"
 )
 
 // This file is the trace-replay equivalence harness: a recorded mixed
@@ -140,12 +140,14 @@ func BuildMixedTrace(spec Spec, nOps int, mix MixedTraceRatios) *MixedTrace {
 				K:    1 + rng.Intn(10),
 			})
 		default:
-			i := rng.Intn(len(live))
+			// Selection and movement route through the generator so a
+			// zipfian / hotspot spec skews mixed traces exactly as it skews
+			// the plain update stream (the pick is an index into the live
+			// set; the drift is keyed by the stable object id).
+			i := int(g.pickOID(len(live)))
 			id := live[i]
 			old := pos[id]
-			dist := rng.Float64() * tr.Spec.MaxDistance
-			angle := rng.Float64() * 2 * math.Pi
-			np := geom.Point{X: old.X + dist*math.Cos(angle), Y: old.Y + dist*math.Sin(angle)}
+			np := g.displace(old, rtree.OID(id))
 			pos[id] = np
 			tr.Ops = append(tr.Ops, TraceOp{Kind: TraceUpdate, ID: id, P: np})
 		}

@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+func TestSkewDefaults(t *testing.T) {
+	s := Spec{ZipfTheta: -1, Hotspots: 3}.WithDefaults()
+	if s.ZipfTheta != 0 {
+		t.Fatalf("negative theta not zeroed: %v", s.ZipfTheta)
+	}
+	if s.HotspotPull != 0.8 {
+		t.Fatalf("hotspot pull default = %v, want 0.8", s.HotspotPull)
+	}
+	s = Spec{Hotspots: 2, HotspotPull: 3}.WithDefaults()
+	if s.HotspotPull != 1 {
+		t.Fatalf("pull not clamped to 1: %v", s.HotspotPull)
+	}
+	if (Spec{}).WithDefaults().IsSkewed() {
+		t.Fatal("default spec reports skewed")
+	}
+	if !(Spec{ZipfTheta: 0.9}).WithDefaults().IsSkewed() || !(Spec{Hotspots: 1}).WithDefaults().IsSkewed() {
+		t.Fatal("skewed spec not reported skewed")
+	}
+}
+
+func TestZipfDeterminism(t *testing.T) {
+	spec := Spec{NumObjects: 400, Seed: 9, ZipfTheta: 0.9, Hotspots: 4}
+	g1, g2 := NewGenerator(spec), NewGenerator(spec)
+	for i := 0; i < 2000; i++ {
+		u1, u2 := g1.NextUpdate(), g2.NextUpdate()
+		if u1 != u2 {
+			t.Fatalf("update %d differs: %+v vs %+v", i, u1, u2)
+		}
+	}
+}
+
+// TestZipfSelectionSkew checks the shape of the selection distribution:
+// at θ = 0.9 a small fraction of objects must receive the majority of
+// updates, and at θ = 0 selection must stay near-uniform.
+func TestZipfSelectionSkew(t *testing.T) {
+	const n, updates = 1000, 50000
+	countTop := func(theta float64) float64 {
+		g := NewGenerator(Spec{NumObjects: n, Seed: 3, ZipfTheta: theta})
+		counts := make([]int, n)
+		for i := 0; i < updates; i++ {
+			counts[g.pickOID(n)]++
+		}
+		sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+		top := 0
+		for _, c := range counts[:n/10] { // hottest 10% of objects
+			top += c
+		}
+		return float64(top) / updates
+	}
+	if share := countTop(0.9); share < 0.35 {
+		t.Fatalf("θ=0.9: hottest 10%% got only %.2f of updates, want ≥ 0.35", share)
+	}
+	if share := countTop(0); share > 0.15 {
+		t.Fatalf("θ=0: hottest 10%% got %.2f of updates, want ≈ 0.10", share)
+	}
+}
+
+// TestZipfRankPermutation: the hot ranks must be spread over the id
+// space by the seeded permutation, not clustered at low ids.
+func TestZipfRankPermutation(t *testing.T) {
+	g := NewGenerator(Spec{NumObjects: 1000, Seed: 5, ZipfTheta: 1.1})
+	seen := make(map[int]bool)
+	for i := 0; i < 200; i++ {
+		seen[int(g.pickOID(1000))] = true
+	}
+	high := 0
+	for id := range seen {
+		if id >= 500 {
+			high++
+		}
+	}
+	if high == 0 {
+		t.Fatal("all hot ids in the low half: rank permutation not applied")
+	}
+}
+
+// TestPickOIDFoldback: when the live set is smaller than NumObjects the
+// pick must stay in range.
+func TestPickOIDFoldback(t *testing.T) {
+	g := NewGenerator(Spec{NumObjects: 100, Seed: 2, ZipfTheta: 1.0})
+	for i := 0; i < 1000; i++ {
+		if oid := g.pickOID(7); int(oid) >= 7 {
+			t.Fatalf("pickOID(7) = %d out of range", oid)
+		}
+	}
+}
+
+// TestHotspotDrift: with strong pull, objects must converge near their
+// attractors; step lengths stay bounded by MaxDistance.
+func TestHotspotDrift(t *testing.T) {
+	spec := Spec{NumObjects: 200, Seed: 11, Hotspots: 2, HotspotPull: 1, MaxDistance: 0.05}
+	g := NewGenerator(spec)
+	maxStep := 0.0
+	for i := 0; i < 20000; i++ {
+		u := g.NextUpdate()
+		step := math.Hypot(u.New.X-u.Old.X, u.New.Y-u.Old.Y)
+		if step > maxStep {
+			maxStep = step
+		}
+	}
+	if maxStep > spec.MaxDistance+1e-12 {
+		t.Fatalf("step %g exceeds MaxDistance %g", maxStep, spec.MaxDistance)
+	}
+	// After many updates every object should sit close to its attractor
+	// (attractors drift, but an order of magnitude slower than objects).
+	far := 0
+	for oid, p := range g.Positions() {
+		a := g.attractors[oid%len(g.attractors)]
+		if math.Hypot(p.X-a.X, p.Y-a.Y) > 0.2 {
+			far++
+		}
+	}
+	if far > len(g.Positions())/10 {
+		t.Fatalf("%d/%d objects far from their attractor after drift", far, len(g.Positions()))
+	}
+}
+
+// TestHotspotSpatialConcentration: hotspot drift must concentrate
+// objects spatially relative to the free random walk.
+func TestHotspotSpatialConcentration(t *testing.T) {
+	spread := func(hotspots int) float64 {
+		g := NewGenerator(Spec{NumObjects: 300, Seed: 21, Hotspots: hotspots})
+		for i := 0; i < 30000; i++ {
+			g.NextUpdate()
+		}
+		var cx, cy float64
+		for _, p := range g.Positions() {
+			cx += p.X
+			cy += p.Y
+		}
+		n := float64(len(g.Positions()))
+		cx, cy = cx/n, cy/n
+		varSum := 0.0
+		for _, p := range g.Positions() {
+			varSum += (p.X-cx)*(p.X-cx) + (p.Y-cy)*(p.Y-cy)
+		}
+		return varSum / n
+	}
+	walk, hot := spread(0), spread(1)
+	if hot > walk/2 {
+		t.Fatalf("hotspot spread %.4f not well below random-walk spread %.4f", hot, walk)
+	}
+}
+
+// TestSkewedMixedTrace: a zipfian mixed trace must skew its update
+// stream the same way the plain generator does.
+func TestSkewedMixedTrace(t *testing.T) {
+	spec := Spec{NumObjects: 500, Seed: 13, ZipfTheta: 1.1}
+	tr := BuildMixedTrace(spec, 5000, MixedTraceRatios{})
+	counts := map[uint64]int{}
+	updates := 0
+	for _, op := range tr.Ops {
+		if op.Kind == TraceUpdate {
+			counts[op.ID]++
+			updates++
+		}
+	}
+	if updates == 0 {
+		t.Fatal("no updates in trace")
+	}
+	freq := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freq = append(freq, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freq)))
+	top := 0
+	for _, c := range freq[:min(50, len(freq))] {
+		top += c
+	}
+	if share := float64(top) / float64(updates); share < 0.4 {
+		t.Fatalf("hottest 50 ids got %.2f of trace updates, want ≥ 0.4 at θ=1.1", share)
+	}
+	// Determinism: same spec, same trace.
+	tr2 := BuildMixedTrace(spec, 5000, MixedTraceRatios{})
+	if len(tr.Ops) != len(tr2.Ops) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(tr.Ops), len(tr2.Ops))
+	}
+	for i := range tr.Ops {
+		if tr.Ops[i] != tr2.Ops[i] {
+			t.Fatalf("trace op %d differs", i)
+		}
+	}
+}
+
+func TestAttractorsStayInUnitSquare(t *testing.T) {
+	g := NewGenerator(Spec{NumObjects: 50, Seed: 6, Hotspots: 5})
+	for i := 0; i < 10000; i++ {
+		g.NextUpdate()
+	}
+	for i, a := range g.attractors {
+		if a.X < 0 || a.X > 1 || a.Y < 0 || a.Y > 1 {
+			t.Fatalf("attractor %d left the unit square: %v", i, a)
+		}
+	}
+}

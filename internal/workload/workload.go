@@ -71,6 +71,33 @@ type Spec struct {
 	QueryMaxSize float64
 	// Seed drives all randomness.
 	Seed int64
+
+	// ZipfTheta skews which object each update touches: object ranks are
+	// drawn with probability ∝ 1/rank^θ (θ = 0, the default, is the
+	// paper's uniform selection; θ ≈ 0.6–1.2 models real fleets where a
+	// small hot set produces most of the update traffic). Ranks map to
+	// object ids through a seeded permutation, so the hot set is spread
+	// over the id space, not clustered at low ids.
+	ZipfTheta float64
+	// Hotspots switches movement from the paper's free random walk to
+	// hotspot drift: K attractor points wander slowly through the unit
+	// square and each updated object moves toward its attractor
+	// (oid mod K) instead of a uniformly random direction. Combined with
+	// ZipfTheta this concentrates the update traffic spatially — the
+	// city-center / flash-crowd regime. Zero keeps the random walk.
+	Hotspots int
+	// HotspotPull blends the drift direction: 1 moves straight at the
+	// attractor, 0 degenerates to the random walk. Default 0.8 when
+	// Hotspots > 0. Step length stays bounded by MaxDistance either way.
+	HotspotPull float64
+	// HotspotDrift scales how far the attractors themselves wander: each
+	// drift step has length uniform in [0, MaxDistance·HotspotDrift].
+	// Default 1 when Hotspots > 0; values below 1 model hotspots that
+	// move on a much slower timescale than the objects orbiting them
+	// (a bench run compresses hours of traffic into seconds, while real
+	// city-center hotspots shift on hour timescales); negative values
+	// pin the attractors in place.
+	HotspotDrift float64
 }
 
 // WithDefaults fills unset fields with the paper's defaults.
@@ -87,8 +114,30 @@ func (s Spec) WithDefaults() Spec {
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
+	if s.ZipfTheta < 0 {
+		s.ZipfTheta = 0
+	}
+	if s.Hotspots > 0 && s.HotspotPull == 0 {
+		s.HotspotPull = 0.8
+	}
+	if s.Hotspots > 0 && s.HotspotDrift == 0 {
+		s.HotspotDrift = 1
+	}
+	if s.HotspotDrift < 0 {
+		s.HotspotDrift = 0
+	}
+	if s.HotspotPull < 0 {
+		s.HotspotPull = 0
+	}
+	if s.HotspotPull > 1 {
+		s.HotspotPull = 1
+	}
 	return s
 }
+
+// IsSkewed reports whether the spec departs from the paper's uniform
+// selection / free random walk (zipfian object choice or hotspot drift).
+func (s Spec) IsSkewed() bool { return s.ZipfTheta > 0 || s.Hotspots > 0 }
 
 // Update is one movement event: object oid moves from Old to New.
 type Update struct {
@@ -103,7 +152,16 @@ type Generator struct {
 	spec Spec
 	rng  *rand.Rand
 	pos  []geom.Point
+
+	zipf       *zipf        // rank sampler when ZipfTheta > 0
+	rankToOID  []rtree.OID  // seeded permutation: rank → object id
+	attractors []geom.Point // hotspot attractor points (len == Hotspots)
+	moves      int          // updates generated so far (drives attractor drift)
 }
+
+// attractorPeriod is how many updates pass between attractor drift
+// steps; attractors wander an order of magnitude slower than objects.
+const attractorPeriod = 64
 
 // NewGenerator builds the generator and the initial object positions.
 func NewGenerator(spec Spec) *Generator {
@@ -116,7 +174,52 @@ func NewGenerator(spec Spec) *Generator {
 	for i := range g.pos {
 		g.pos[i] = g.initialPoint()
 	}
+	if spec.ZipfTheta > 0 {
+		g.zipf = newZipf(spec.NumObjects, spec.ZipfTheta)
+		g.rankToOID = make([]rtree.OID, spec.NumObjects)
+		for i, j := range g.rng.Perm(spec.NumObjects) {
+			g.rankToOID[i] = rtree.OID(j)
+		}
+	}
+	if spec.Hotspots > 0 {
+		g.attractors = make([]geom.Point, spec.Hotspots)
+		for i := range g.attractors {
+			g.attractors[i] = geom.Point{X: g.rng.Float64(), Y: g.rng.Float64()}
+		}
+	}
 	return g
+}
+
+// zipf samples ranks 0..n-1 with probability ∝ 1/(rank+1)^θ by binary
+// search over the precomputed cumulative weights. Self-contained (no
+// math/rand.Zipf, which requires θ > 1) and exact for any θ > 0.
+type zipf struct {
+	cum []float64 // cum[r] = Σ_{i≤r} (i+1)^-θ
+}
+
+func newZipf(n int, theta float64) *zipf {
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -theta)
+		cum[i] = total
+	}
+	return &zipf{cum: cum}
+}
+
+// rank draws one rank using u ∈ [0, 1).
+func (z *zipf) rank(u float64) int {
+	target := u * z.cum[len(z.cum)-1]
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] <= target {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Spec returns the (defaulted) specification.
@@ -151,18 +254,80 @@ func clamp01(v float64) float64 {
 	return v
 }
 
-// NextUpdate moves a uniformly chosen object a random distance in
-// [0, MaxDistance] in a random direction and returns the event. Objects
-// may drift outside the unit square; the paper observes exactly this
-// ("objects beyond the root MBR"), so positions are not clamped.
+// NextUpdate moves one object a random distance in [0, MaxDistance] and
+// returns the event. Selection is uniform, or zipfian over ranks when
+// ZipfTheta > 0; the direction is uniformly random, or drawn toward the
+// object's attractor when Hotspots > 0. Objects may drift outside the
+// unit square; the paper observes exactly this ("objects beyond the
+// root MBR"), so positions are not clamped.
 func (g *Generator) NextUpdate() Update {
-	oid := rtree.OID(g.rng.Intn(len(g.pos)))
+	oid := g.pickOID(len(g.pos))
 	old := g.pos[oid]
-	dist := g.rng.Float64() * g.spec.MaxDistance
-	angle := g.rng.Float64() * 2 * math.Pi
-	np := geom.Point{X: old.X + dist*math.Cos(angle), Y: old.Y + dist*math.Sin(angle)}
+	np := g.displace(old, oid)
 	g.pos[oid] = np
 	return Update{OID: oid, Old: old, New: np}
+}
+
+// pickOID selects the next object to move among ids 0..n-1 (n may be
+// smaller than NumObjects when the caller tracks a shrinking live set).
+func (g *Generator) pickOID(n int) rtree.OID {
+	if g.zipf == nil {
+		return rtree.OID(g.rng.Intn(n))
+	}
+	r := g.zipf.rank(g.rng.Float64())
+	oid := g.rankToOID[r]
+	if int(oid) >= n {
+		// The permuted id fell outside the caller's live range; fold it
+		// back in. The fold preserves determinism and keeps the selection
+		// heavily skewed (hot ranks stay hot).
+		oid = rtree.OID(int(oid) % n)
+	}
+	return oid
+}
+
+// displace computes one bounded movement step from old for object oid:
+// a uniformly random direction, or — in hotspot mode — a blend of the
+// direction toward the object's attractor and a random jitter. Every
+// attractorPeriod calls the attractors themselves take one small random
+// step, so hotspots wander like a slow-moving crowd.
+func (g *Generator) displace(old geom.Point, oid rtree.OID) geom.Point {
+	dist := g.rng.Float64() * g.spec.MaxDistance
+	angle := g.rng.Float64() * 2 * math.Pi
+	dx, dy := dist*math.Cos(angle), dist*math.Sin(angle)
+	if len(g.attractors) > 0 {
+		g.moves++
+		if g.moves%attractorPeriod == 0 {
+			g.driftAttractors()
+		}
+		a := g.attractors[int(oid)%len(g.attractors)]
+		tx, ty := a.X-old.X, a.Y-old.Y
+		if n := math.Hypot(tx, ty); n > 0 {
+			// Walk the full step length toward the attractor once far away,
+			// but never overshoot it: close objects orbit inside the
+			// hotspot instead of oscillating across it.
+			toward := dist
+			if toward > n {
+				toward = n
+			}
+			pull := g.spec.HotspotPull
+			dx = pull*toward*tx/n + (1-pull)*dx
+			dy = pull*toward*ty/n + (1-pull)*dy
+		}
+	}
+	return geom.Point{X: old.X + dx, Y: old.Y + dy}
+}
+
+// driftAttractors advances every attractor one bounded random step,
+// clamped to the unit square so hotspots stay in populated space.
+func (g *Generator) driftAttractors() {
+	for i, a := range g.attractors {
+		d := g.rng.Float64() * g.spec.MaxDistance * g.spec.HotspotDrift
+		ang := g.rng.Float64() * 2 * math.Pi
+		g.attractors[i] = geom.Point{
+			X: clamp01(a.X + d*math.Cos(ang)),
+			Y: clamp01(a.Y + d*math.Sin(ang)),
+		}
+	}
 }
 
 // NextQuery returns a query window with uniformly distributed corner and

@@ -104,6 +104,12 @@ type savedSharded struct {
 	// WALSeq is the shared log sequence this snapshot covers (see
 	// savedIndex.WALSeq); the per-shard log tails replay from it.
 	WALSeq uint64
+
+	// RouterEpoch counts the boundary changes the saved index had
+	// performed (rebalancer steps and partition upgrades); restored so
+	// monitors see a monotone epoch across snapshots. Zero in snapshots
+	// from before the field existed.
+	RouterEpoch uint64
 }
 
 const shardedFormat = 1
@@ -237,16 +243,17 @@ func (x *ShardedIndex) Save(w io.Writer) error {
 func (x *ShardedIndex) saveLocked(w io.Writer) error {
 	spec := x.router.Spec()
 	s := savedSharded{
-		Format:  shardedFormat,
-		Options: x.options,
-		Scheme:  int(spec.Scheme),
-		Shards:  spec.Shards,
-		GridX:   spec.GridX,
-		GridY:   spec.GridY,
-		Bounds:  spec.Bounds,
-		Blobs:   make([][]byte, len(x.shards)),
-		Counts:  make([]int, len(x.shards)),
-		WALSeq:  x.lsn.Load(),
+		Format:      shardedFormat,
+		Options:     x.options,
+		Scheme:      int(spec.Scheme),
+		Shards:      spec.Shards,
+		GridX:       spec.GridX,
+		GridY:       spec.GridY,
+		Bounds:      spec.Bounds,
+		Blobs:       make([][]byte, len(x.shards)),
+		Counts:      make([]int, len(x.shards)),
+		WALSeq:      x.lsn.Load(),
+		RouterEpoch: x.routerEpoch,
 	}
 	for i, sh := range x.shards {
 		var buf bytes.Buffer
@@ -684,12 +691,15 @@ func LoadSharded(r io.Reader) (*ShardedIndex, error) {
 	o.Durability = Durability{}
 	o.Memtable = Memtable{}
 	x := &ShardedIndex{
-		router:  router,
-		shards:  shards,
-		options: o,
-		sopts:   ShardOptions{Shards: s.Shards, Partition: scheme},
-		objects: objects,
-		walSeq:  s.WALSeq,
+		router:      router,
+		shards:      shards,
+		options:     o,
+		sopts:       ShardOptions{Shards: s.Shards, Partition: scheme},
+		objects:     objects,
+		walSeq:      s.WALSeq,
+		load:        shard.NewLoadTracker(s.Shards),
+		ropts:       RebalanceOptions{}.withDefaults(),
+		routerEpoch: s.RouterEpoch,
 	}
 	return x, nil
 }

@@ -1,0 +1,419 @@
+package burtree
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"burtree/internal/shard"
+)
+
+// RebalanceOptions configures the online shard rebalancer of a
+// ShardedIndex. The rebalancer watches the per-shard load shares (a
+// windowed EWMA over the operation stream; see ShardLoads) and, when one
+// shard draws more than its fair share, migrates a boundary slice of its
+// objects to a neighboring Hilbert range. A grid partition upgrades to
+// Hilbert ranges on its first rebalance — range boundaries are the only
+// partition shape that can be re-split incrementally.
+//
+// Every step runs under the index's exclusive snapshot gate, so the
+// trees are quiescent while boundaries move; MaxStep bounds how many
+// objects one step migrates, which bounds how long writers stall.
+// Boundary changes are not logged: write-ahead replay re-routes every
+// record by position, so shard placement is derived state — a crash
+// simply recovers onto the boundaries of the last checkpoint.
+type RebalanceOptions struct {
+	// Enabled turns the rebalancer on. Manual Rebalance calls work even
+	// when false; Enabled gates the background loop and is what the skew
+	// experiment toggles between its static and adaptive arms.
+	Enabled bool
+	// HotFactor is the trigger threshold: a shard is hot when its EWMA
+	// load share exceeds HotFactor× the fair share 1/n (default 1.5).
+	HotFactor float64
+	// MaxStep caps the objects migrated per rebalance step (default
+	// 512). The grid→Hilbert upgrade is exempt: it rebuilds every shard
+	// once, in parallel, rather than paying per-object migration.
+	MaxStep int
+	// MinOps is the minimum number of operations a sampling window must
+	// carry before a step may trigger (default 1024) — idle indexes and
+	// cold starts never rebalance on noise.
+	MinOps uint64
+	// Cooldown is the number of qualifying sampling windows skipped after
+	// a boundary change (default 0 = none). A step disturbs its own
+	// signal — migrated objects land on cold buffers and the EWMA shares
+	// are still re-forming — so without hysteresis a single hot spell can
+	// trigger a chase of follow-up steps whose migrations cost more than
+	// the imbalance they shave.
+	Cooldown int
+	// Interval is the background sampling period. Zero (the default)
+	// means no background loop: the caller drives Rebalance explicitly,
+	// which is also what keeps tests deterministic.
+	Interval time.Duration
+}
+
+func (o RebalanceOptions) withDefaults() RebalanceOptions {
+	if o.HotFactor == 0 {
+		o.HotFactor = 1.5
+	}
+	if o.MaxStep == 0 {
+		o.MaxStep = 512
+	}
+	if o.MinOps == 0 {
+		o.MinOps = 1024
+	}
+	return o
+}
+
+// ShardLoad is one shard's load-accounting snapshot (see ShardLoads).
+type ShardLoad struct {
+	// Updates is the cumulative count of update operations (inserts,
+	// moves, deletes) applied by the shard.
+	Updates uint64
+	// Queries is the cumulative count of read visits (window, count and
+	// nearest-neighbour scatters that touched the shard).
+	Queries uint64
+	// Objects is the shard's current object count.
+	Objects int
+	// Share is the shard's EWMA share of recent load (updates+queries),
+	// the signal the rebalancer triggers on. Shares sum to ≈1 once the
+	// first sampling window has closed.
+	Share float64
+}
+
+// ShardLoads returns each shard's load accounting: cumulative update and
+// query counts, current object count, and the windowed EWMA load share.
+// Companion to Stats for balance monitoring and the rebalancer's own
+// trigger.
+func (x *ShardedIndex) ShardLoads() []ShardLoad {
+	x.opMu.RLock()
+	defer x.opMu.RUnlock()
+	shares := x.load.Shares()
+	out := make([]ShardLoad, len(x.shards))
+	for i, s := range x.shards {
+		out[i] = ShardLoad{
+			Updates: x.load.UpdateCount(i),
+			Queries: x.load.QueryCount(i),
+			Objects: s.Len(),
+			Share:   shares[i],
+		}
+	}
+	return out
+}
+
+// RouterEpoch counts the boundary changes this index has performed (it
+// starts at the value restored from the snapshot manifest); tests and
+// monitors use it to tell whether a rebalance actually moved boundaries.
+func (x *ShardedIndex) RouterEpoch() uint64 {
+	x.opMu.RLock()
+	defer x.opMu.RUnlock()
+	return x.routerEpoch
+}
+
+// SetRebalance reconfigures the rebalancer at runtime, starting or
+// stopping the background loop as needed. Used to enable rebalancing on
+// an index restored by LoadSharded (loaders keep it off).
+func (x *ShardedIndex) SetRebalance(o RebalanceOptions) {
+	x.stopRebalancer()
+	x.rebalMu.Lock()
+	x.ropts = o.withDefaults()
+	x.startRebalancerLocked()
+	x.rebalMu.Unlock()
+}
+
+// startRebalancerLocked launches the background loop when the
+// configuration asks for one. Caller holds rebalMu.
+func (x *ShardedIndex) startRebalancerLocked() {
+	if !x.ropts.Enabled || x.ropts.Interval <= 0 || x.rebalStop != nil {
+		return
+	}
+	stop := make(chan struct{})
+	x.rebalStop = stop
+	interval := x.ropts.Interval
+	x.rebalWG.Add(1)
+	go func() {
+		defer x.rebalWG.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+				// A failed step leaves the previous boundaries in place;
+				// the next tick retries, so the loop drops the error.
+				_, _ = x.Rebalance()
+			}
+		}
+	}()
+}
+
+// stopRebalancer stops the background loop and waits it out.
+func (x *ShardedIndex) stopRebalancer() {
+	x.rebalMu.Lock()
+	stop := x.rebalStop
+	x.rebalStop = nil
+	x.rebalMu.Unlock()
+	if stop != nil {
+		close(stop)
+		x.rebalWG.Wait()
+	}
+}
+
+// Rebalance closes one load-sampling window and, if a shard is hot,
+// performs one bounded rebalance step: a grid partition is upgraded to
+// load-balanced Hilbert ranges (all shards rebuilt in parallel, once);
+// a Hilbert partition has the hot shard's boundary nudged toward the
+// load quantiles, migrating at most MaxStep objects to a neighbor. It
+// returns the number of objects that changed shards (0 when no shard is
+// hot or the window was too quiet). Safe to call manually regardless of
+// RebalanceOptions.Enabled, including on a loaded snapshot.
+func (x *ShardedIndex) Rebalance() (int, error) {
+	x.rebalMu.Lock()
+	o := x.ropts
+	x.rebalMu.Unlock()
+	shares, ops := x.load.Sample()
+	n := len(shares)
+	if n < 2 || ops < o.MinOps {
+		return 0, nil
+	}
+	x.rebalMu.Lock()
+	if x.rebalCool > 0 {
+		x.rebalCool--
+		x.rebalMu.Unlock()
+		return 0, nil
+	}
+	x.rebalMu.Unlock()
+	hot, hotShare := 0, shares[0]
+	for i, s := range shares {
+		if s > hotShare {
+			hot, hotShare = i, s
+		}
+	}
+	if hotShare*float64(n) <= o.HotFactor {
+		return 0, nil
+	}
+	x.opMu.Lock()
+	defer x.opMu.Unlock()
+	var moved int
+	var err error
+	if x.router.Scheme() == shard.Grid {
+		moved, err = x.upgradeToHilbertLocked()
+	} else {
+		moved, err = x.nudgeBoundaryLocked(hot, o.MaxStep)
+	}
+	if err == nil && moved > 0 && o.Cooldown > 0 {
+		x.rebalMu.Lock()
+		x.rebalCool = o.Cooldown
+		x.rebalMu.Unlock()
+	}
+	return moved, err
+}
+
+// upgradeToHilbertLocked replaces a grid partition with load-balanced
+// Hilbert ranges in one shot: a new router is cut at the load quantiles
+// of the cell histogram and every shard is rebuilt by a parallel bulk
+// load of its new slice of the object table. One rebuild costs far less
+// than migrating nearly every object through per-object delete+insert,
+// which is why the upgrade ignores MaxStep. Caller holds opMu
+// exclusively; on any error the previous shards and router stay
+// installed.
+func (x *ShardedIndex) upgradeToHilbertLocked() (int, error) {
+	n := len(x.shards)
+	bounds, err := shard.LoadQuantileBounds(n, x.load.CellLoads())
+	if err != nil {
+		return 0, fmt.Errorf("burtree: rebalance: %w", err)
+	}
+	router, err := shard.NewHilbertBounds(bounds)
+	if err != nil {
+		return 0, fmt.Errorf("burtree: rebalance: %w", err)
+	}
+	fresh, err := openShards(x.options, n)
+	if err != nil {
+		return 0, fmt.Errorf("burtree: rebalance: %w", err)
+	}
+	if d := time.Duration(x.ioLatency.Load()); d != 0 {
+		for _, s := range fresh {
+			s.SetIOLatency(d)
+		}
+	}
+	x.mu.RLock()
+	perIDs := make([][]uint64, n)
+	perPts := make([][]Point, n)
+	for id, p := range x.objects {
+		s := router.ShardOf(p)
+		perIDs[s] = append(perIDs[s], id)
+		perPts[s] = append(perPts[s], p)
+	}
+	x.mu.RUnlock()
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for s := 0; s < n; s++ {
+		if len(perIDs[s]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			errs[s] = fresh[s].BulkInsert(perIDs[s], perPts[s], PackSTR)
+		}(s)
+	}
+	wg.Wait()
+	if err := errors.Join(errs...); err != nil {
+		for _, s := range fresh {
+			_ = s.Close()
+		}
+		return 0, fmt.Errorf("burtree: rebalance: rebuilding shards: %w", err)
+	}
+	old := x.shards
+	x.shards = fresh
+	x.router = router
+	x.sopts.Partition = ShardHilbert
+	x.routerEpoch++
+	x.load.DecayCells()
+	x.load.ResetShares()
+	var closeErr error
+	for _, s := range old {
+		closeErr = errors.Join(closeErr, s.Close())
+	}
+	if closeErr != nil {
+		return 0, fmt.Errorf("burtree: rebalance: closing replaced shards: %w", closeErr)
+	}
+	x.mu.RLock()
+	moved := len(x.objects)
+	x.mu.RUnlock()
+	return moved, nil
+}
+
+// nudgeBoundaryLocked moves one boundary of the hot shard toward the
+// load-quantile target, migrating at most maxStep objects to the
+// adjacent shard. Caller holds opMu exclusively. The step picks the hot
+// shard's boundary with the larger pull toward the target, walks it
+// inward cell by cell while the migration stays within budget (always
+// at least one cell, so a step under budget pressure still makes
+// progress), installs the new router and moves the affected objects
+// between the two shard trees. Positions do not change, so neither the
+// global object table nor the write-ahead log is touched.
+func (x *ShardedIndex) nudgeBoundaryLocked(hot, maxStep int) (int, error) {
+	n := len(x.shards)
+	cur := x.router.Bounds()
+	target, err := shard.LoadQuantileBounds(n, x.load.CellLoads())
+	if err != nil {
+		return 0, fmt.Errorf("burtree: rebalance: %w", err)
+	}
+	// The hot shard owns curve range [lo, hi).
+	lo, hi := uint64(0), uint64(shard.NumCells)
+	if hot > 0 {
+		lo = cur[hot-1]
+	}
+	if hot < n-1 {
+		hi = cur[hot]
+	}
+	// Candidate nudges shrink the hot range: raising the left boundary
+	// (cells migrate to shard hot-1) or lowering the right boundary
+	// (cells migrate to shard hot+1). Pick the side the target pulls
+	// harder.
+	leftPull, rightPull := uint64(0), uint64(0)
+	if hot > 0 && target[hot-1] > lo {
+		leftPull = target[hot-1] - lo
+	}
+	if hot < n-1 && target[hot] < hi {
+		rightPull = hi - target[hot]
+	}
+	if leftPull == 0 && rightPull == 0 {
+		// The hot shard's boundaries already sit at the load quantiles
+		// (e.g. the load is query-driven, which the cell histogram does
+		// not see, or concentrated in a single cell already isolated).
+		return 0, nil
+	}
+
+	// Per-cell object counts of the hot shard, so the walk can stop
+	// before the migration exceeds its budget.
+	cellObjects := make(map[uint64]int)
+	x.mu.RLock()
+	for _, p := range x.objects {
+		if x.router.ShardOf(p) == hot {
+			cellObjects[shard.CellKey(p)]++
+		}
+	}
+	x.mu.RUnlock()
+
+	newBounds := append([]uint64(nil), cur...)
+	if leftPull >= rightPull {
+		// Raise cur[hot-1] toward target[hot-1]: cells [lo, b) leave the
+		// hot shard. Keep b < hi to leave the hot range non-empty.
+		b, count := lo, 0
+		for b < target[hot-1] && b < hi-1 {
+			c := cellObjects[b]
+			if b > lo && count+c > maxStep {
+				break
+			}
+			count += c
+			b++
+		}
+		if b == lo {
+			return 0, nil
+		}
+		newBounds[hot-1] = b
+	} else {
+		// Lower cur[hot] toward target[hot]: cells [b, hi) leave the hot
+		// shard. Keep b > lo to leave the hot range non-empty.
+		b, count := hi, 0
+		for b > target[hot] && b > lo+1 {
+			c := cellObjects[b-1]
+			if b < hi && count+c > maxStep {
+				break
+			}
+			count += c
+			b--
+		}
+		if b == hi {
+			return 0, nil
+		}
+		newBounds[hot] = b
+	}
+	router, err := shard.NewHilbertBounds(newBounds)
+	if err != nil {
+		return 0, fmt.Errorf("burtree: rebalance: %w", err)
+	}
+
+	// Migrate the objects whose owning shard changed. Collect first,
+	// then apply, so a mid-migration failure can put every already-moved
+	// object back and leave the old router installed.
+	type mover struct {
+		id       uint64
+		p        Point
+		src, dst int
+	}
+	var movers []mover
+	x.mu.RLock()
+	for id, p := range x.objects {
+		src := x.router.ShardOf(p)
+		if dst := router.ShardOf(p); dst != src {
+			movers = append(movers, mover{id: id, p: p, src: src, dst: dst})
+		}
+	}
+	x.mu.RUnlock()
+	for i, m := range movers {
+		err := x.shards[m.src].Delete(m.id)
+		if err == nil {
+			if err = x.shards[m.dst].Insert(m.id, m.p); err != nil {
+				// Undo this mover's delete before unwinding the rest.
+				err = errors.Join(err, x.shards[m.src].Insert(m.id, m.p))
+			}
+		}
+		if err != nil {
+			for j := i - 1; j >= 0; j-- {
+				u := movers[j]
+				err = errors.Join(err, x.shards[u.dst].Delete(u.id))
+				err = errors.Join(err, x.shards[u.src].Insert(u.id, u.p))
+			}
+			return 0, fmt.Errorf("burtree: rebalance: migrating boundary slice: %w", err)
+		}
+	}
+	x.router = router
+	x.routerEpoch++
+	x.load.DecayCells()
+	x.load.ResetShares()
+	return len(movers), nil
+}

@@ -1,0 +1,327 @@
+package burtree
+
+import (
+	"errors"
+	"math"
+	"sort"
+	"testing"
+
+	"burtree/internal/wal"
+)
+
+// This file pins the cross-shard consistency fixes with regression
+// tests that fail on the pre-fix code:
+//
+//  1. A WAL append that fails after the shard tree applied the
+//     mutation must roll the mutation back — an acked-but-unlogged
+//     object would silently vanish on recovery.
+//  2. A scatter racing a cross-shard move can find the same id in two
+//     shards; the gather must de-duplicate (Search, SearchFunc, Count,
+//     Nearest).
+//  3. Nearest must not prune shards while its result set is still
+//     under-filled, even when every object lives in one distant shard.
+
+// failShardWAL force-closes shard s's write-ahead log so the next
+// append fails with wal.ErrClosed while the shard trees keep working —
+// the same observable state as a full log device.
+func failShardWAL(t *testing.T, x *ShardedIndex, s int) {
+	t.Helper()
+	if x.wals == nil {
+		t.Fatal("index is not durable")
+	}
+	if err := x.wals[s].Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// expectObjects asserts the index's queryable state: exactly the given
+// objects, each findable at its position by Location and Search.
+func expectObjects(t *testing.T, x *ShardedIndex, want map[uint64]Point) {
+	t.Helper()
+	if got := x.Len(); got != len(want) {
+		t.Fatalf("Len() = %d, want %d", got, len(want))
+	}
+	got := objectsOf(t, x)
+	if len(got) != len(want) {
+		t.Fatalf("search found %d objects, want %d", len(got), len(want))
+	}
+	for id, p := range want {
+		if gp, ok := got[id]; !ok || gp != p {
+			t.Fatalf("object %d: search sees %v (present %v), want %v", id, gp, ok, p)
+		}
+		if lp, ok := x.Location(id); !ok || lp != p {
+			t.Fatalf("object %d: Location sees %v (present %v), want %v", id, lp, ok, p)
+		}
+	}
+}
+
+// TestWALFailureRollsBackInsert checks that an insert whose durable
+// append fails is fully undone: the object is in neither the shard tree
+// nor the object table.
+func TestWALFailureRollsBackInsert(t *testing.T) {
+	x, err := OpenSharded(durableOpts(t.TempDir(), DurabilityBatch), ShardOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close() // double-closes the failed log; the state checks above are the test
+
+	if err := x.Insert(1, Point{X: 0.2, Y: 0.2}); err != nil {
+		t.Fatal(err)
+	}
+	failShardWAL(t, x, 0)
+
+	err = x.Insert(2, Point{X: 0.6, Y: 0.6})
+	if err == nil {
+		t.Fatal("insert with failed WAL returned nil")
+	}
+	if !errors.Is(err, wal.ErrClosed) {
+		t.Fatalf("insert error %v does not wrap wal.ErrClosed", err)
+	}
+	expectObjects(t, x, map[uint64]Point{1: {X: 0.2, Y: 0.2}})
+}
+
+// TestWALFailureRollsBackUpdate checks the in-shard move rollback: the
+// object must remain at its old position after a failed append.
+func TestWALFailureRollsBackUpdate(t *testing.T) {
+	x, err := OpenSharded(durableOpts(t.TempDir(), DurabilityBatch), ShardOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+
+	old := Point{X: 0.2, Y: 0.2}
+	if err := x.Insert(1, old); err != nil {
+		t.Fatal(err)
+	}
+	failShardWAL(t, x, 0)
+
+	err = x.Update(1, Point{X: 0.8, Y: 0.8})
+	if err == nil {
+		t.Fatal("update with failed WAL returned nil")
+	}
+	if !errors.Is(err, wal.ErrClosed) {
+		t.Fatalf("update error %v does not wrap wal.ErrClosed", err)
+	}
+	expectObjects(t, x, map[uint64]Point{1: old})
+}
+
+// TestWALFailureRollsBackCrossShardUpdate checks the cross-shard move
+// rollback: the delete in the source shard and the insert in the
+// destination shard must both be undone when the destination's log
+// append fails.
+func TestWALFailureRollsBackCrossShardUpdate(t *testing.T) {
+	x, err := OpenSharded(durableOpts(t.TempDir(), DurabilityBatch), ShardOptions{Shards: 4, Partition: ShardGrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+
+	// 2×2 grid: (0.1,0.1) and (0.9,0.9) land in different shards.
+	old := Point{X: 0.1, Y: 0.1}
+	np := Point{X: 0.9, Y: 0.9}
+	src := x.router.ShardOf(old)
+	dst := x.router.ShardOf(np)
+	if src == dst {
+		t.Fatalf("setup: src %d == dst %d, points do not cross shards", src, dst)
+	}
+	if err := x.Insert(1, old); err != nil {
+		t.Fatal(err)
+	}
+	failShardWAL(t, x, dst) // the move logs at its destination
+
+	err = x.Update(1, np)
+	if err == nil {
+		t.Fatal("cross-shard update with failed WAL returned nil")
+	}
+	if !errors.Is(err, wal.ErrClosed) {
+		t.Fatalf("update error %v does not wrap wal.ErrClosed", err)
+	}
+	expectObjects(t, x, map[uint64]Point{1: old})
+	// The object must be back in the source shard's tree, not the
+	// destination's.
+	if n := x.shards[src].Len(); n != 1 {
+		t.Fatalf("source shard holds %d objects, want 1", n)
+	}
+	if n := x.shards[dst].Len(); n != 0 {
+		t.Fatalf("destination shard holds %d objects, want 0", n)
+	}
+}
+
+// TestWALFailureRollsBackDelete checks the delete rollback: the object
+// must be re-inserted at its old position after a failed append.
+func TestWALFailureRollsBackDelete(t *testing.T) {
+	x, err := OpenSharded(durableOpts(t.TempDir(), DurabilityBatch), ShardOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+
+	p := Point{X: 0.4, Y: 0.4}
+	if err := x.Insert(1, p); err != nil {
+		t.Fatal(err)
+	}
+	failShardWAL(t, x, 0)
+
+	err = x.Delete(1)
+	if err == nil {
+		t.Fatal("delete with failed WAL returned nil")
+	}
+	if !errors.Is(err, wal.ErrClosed) {
+		t.Fatalf("delete error %v does not wrap wal.ErrClosed", err)
+	}
+	expectObjects(t, x, map[uint64]Point{1: p})
+}
+
+// plantDuplicate bypasses routing and inserts the same id into two
+// shard trees directly — the transient state a scatter can observe
+// while racing a cross-shard move (insert into the destination applied,
+// delete from the source not yet visible).
+func plantDuplicate(t *testing.T, x *ShardedIndex, id uint64, a, b int, pa, pb Point) {
+	t.Helper()
+	if err := x.shards[a].Insert(id, pa); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.shards[b].Insert(id, pb); err != nil {
+		t.Fatal(err)
+	}
+	x.mu.Lock()
+	x.objects[id] = pb
+	x.mu.Unlock()
+}
+
+// TestScatterDedup pins the gather de-duplication: with the same id
+// present in two shards (the racing-reader anomaly), Search, SearchFunc,
+// Count and Nearest must each report the object exactly once.
+func TestScatterDedup(t *testing.T) {
+	x := openShardedTest(t, GeneralizedBottomUp, ShardOptions{Shards: 4, Partition: ShardGrid})
+	defer x.Close()
+
+	// A normal object in each quadrant, then one id planted in two shards.
+	if err := x.Insert(1, Point{X: 0.1, Y: 0.1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Insert(2, Point{X: 0.9, Y: 0.9}); err != nil {
+		t.Fatal(err)
+	}
+	pa := Point{X: 0.2, Y: 0.2}
+	pb := Point{X: 0.8, Y: 0.2}
+	a, b := x.router.ShardOf(pa), x.router.ShardOf(pb)
+	if a == b {
+		t.Fatalf("setup: both copies route to shard %d", a)
+	}
+	plantDuplicate(t, x, 42, a, b, pa, pb)
+
+	whole := NewRect(0, 0, 1, 1)
+
+	got, err := x.Search(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]int)
+	for _, id := range got {
+		seen[id]++
+	}
+	if seen[42] != 1 {
+		t.Fatalf("Search returned id 42 %d times, want once (results %v)", seen[42], got)
+	}
+	if len(got) != 3 {
+		t.Fatalf("Search returned %d ids, want 3: %v", len(got), got)
+	}
+
+	visits := 0
+	err = x.SearchFunc(whole, func(id uint64, p Point) bool {
+		if id == 42 {
+			visits++
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visits != 1 {
+		t.Fatalf("SearchFunc visited id 42 %d times, want once", visits)
+	}
+
+	n, err := x.Count(whole)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("Count = %d, want 3", n)
+	}
+
+	// Nearest from beside copy A: id 42 appears once, at its nearest
+	// copy's distance.
+	q := Point{X: 0.21, Y: 0.21}
+	ns, err := x.Nearest(q, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits := 0
+	for _, nb := range ns {
+		if nb.ID == 42 {
+			hits++
+			wantDist := math.Hypot(q.X-pa.X, q.Y-pa.Y)
+			if math.Abs(nb.Dist-wantDist) > 1e-12 {
+				t.Fatalf("Nearest kept the far copy of id 42: dist %g, want %g", nb.Dist, wantDist)
+			}
+		}
+	}
+	if hits != 1 {
+		t.Fatalf("Nearest returned id 42 %d times, want once (%v)", hits, ns)
+	}
+}
+
+// TestNearestUnderfilledShards pins the best-first pruning guard: with
+// every object concentrated in one shard far from the query point and
+// k larger than the object count, Nearest must keep visiting shards
+// until the result is as full as the data allows, matching brute force.
+func TestNearestUnderfilledShards(t *testing.T) {
+	x := openShardedTest(t, GeneralizedBottomUp, ShardOptions{Shards: 8, Partition: ShardHilbert})
+	defer x.Close()
+
+	// Per-object inserts do not rebuild the uniform Hilbert router, so
+	// clustering every object near one corner leaves seven shards empty.
+	pts := make([]Point, 20)
+	for i := range pts {
+		pts[i] = Point{X: 0.93 + 0.003*float64(i%5), Y: 0.93 + 0.003*float64(i/5)}
+		if err := x.Insert(uint64(i), pts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	occupied := 0
+	for _, n := range x.ShardLens() {
+		if n > 0 {
+			occupied++
+		}
+	}
+	if occupied > 2 {
+		t.Fatalf("setup: cluster spread over %d shards, want <= 2", occupied)
+	}
+
+	q := Point{X: 0.02, Y: 0.02} // opposite corner: every region is "far"
+	for _, k := range []int{5, 20, 50} {
+		ns, err := x.Nearest(q, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantLen := k
+		if wantLen > len(pts) {
+			wantLen = len(pts)
+		}
+		if len(ns) != wantLen {
+			t.Fatalf("Nearest(k=%d) returned %d results, want %d", k, len(ns), wantLen)
+		}
+		// Brute-force oracle.
+		dists := make([]float64, len(pts))
+		for i, p := range pts {
+			dists[i] = math.Hypot(q.X-p.X, q.Y-p.Y)
+		}
+		sort.Float64s(dists)
+		for i, nb := range ns {
+			if math.Abs(nb.Dist-dists[i]) > 1e-12 {
+				t.Fatalf("Nearest(k=%d) result %d at dist %g, brute force says %g", k, i, nb.Dist, dists[i])
+			}
+		}
+	}
+}

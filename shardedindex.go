@@ -45,6 +45,9 @@ type ShardOptions struct {
 	Shards int
 	// Partition picks the space-splitting scheme.
 	Partition PartitionScheme
+	// Rebalance configures the online load-based rebalancer (off by
+	// default); see RebalanceOptions.
+	Rebalance RebalanceOptions
 }
 
 func (o ShardOptions) withDefaults() ShardOptions {
@@ -75,10 +78,12 @@ func (o ShardOptions) withDefaults() ShardOptions {
 // Consistency is per shard: a query observes each shard it touches at a
 // consistent point (DGL granule locks, as ConcurrentIndex), but a
 // scatter is not one global snapshot — a reader racing a cross-shard
-// move can miss the mover (read after its delete, before its insert)
-// or, if its shard visits straddle the move, observe it twice. Readers
-// that need a globally consistent view quiesce writers first, as Save
-// does.
+// move can miss the mover (read after its delete, before its insert).
+// The dual anomaly, observing the mover twice when shard visits
+// straddle the move, is absorbed by the gather: Search, SearchFunc,
+// Count and Nearest de-duplicate by id, so a racing reader sees each
+// object at most once. Readers that need a globally consistent view
+// quiesce writers first, as Save does.
 type ShardedIndex struct {
 	router  *shard.Router
 	shards  []*ConcurrentIndex
@@ -105,6 +110,23 @@ type ShardedIndex struct {
 	wals   []*wal.Log
 	lsn    atomic.Uint64
 	walSeq uint64
+
+	// load accumulates per-shard operation counts and the per-cell
+	// update histogram the rebalancer splits on; see ShardLoads.
+	load *shard.LoadTracker
+	// routerEpoch counts boundary changes (guarded by opMu; bumped under
+	// the exclusive gate, persisted in the sharded manifest).
+	routerEpoch uint64
+	// ioLatency remembers the simulated per-page latency so shards
+	// rebuilt by a rebalance keep paying it.
+	ioLatency atomic.Int64
+
+	// rebalMu guards the rebalancer configuration and loop lifecycle.
+	rebalMu   sync.Mutex
+	ropts     RebalanceOptions
+	rebalCool int // qualifying windows left to skip (Cooldown hysteresis)
+	rebalStop chan struct{}
+	rebalWG   sync.WaitGroup
 }
 
 // nextLSN hands out globally ordered record sequences to the per-shard
@@ -163,6 +185,8 @@ func OpenSharded(opts Options, sopts ShardOptions) (*ShardedIndex, error) {
 		options: opts,
 		sopts:   sopts,
 		objects: make(map[uint64]Point),
+		load:    shard.NewLoadTracker(sopts.Shards),
+		ropts:   sopts.Rebalance.withDefaults(),
 	}
 	if d := opts.Durability; d.enabled() {
 		if err := checkFreshDir(d.Dir); err != nil {
@@ -181,6 +205,9 @@ func OpenSharded(opts Options, sopts ShardOptions) (*ShardedIndex, error) {
 			x.wals[i] = log
 		}
 	}
+	x.rebalMu.Lock()
+	x.startRebalancerLocked()
+	x.rebalMu.Unlock()
 	return x, nil
 }
 
@@ -237,8 +264,14 @@ func (x *ShardedIndex) NumShards() int {
 	return len(x.shards)
 }
 
-// Partition returns the partitioning scheme in use.
-func (x *ShardedIndex) Partition() PartitionScheme { return x.sopts.Partition }
+// Partition returns the partitioning scheme in use. A grid partition
+// reports ShardHilbert after its first rebalance upgraded it to Hilbert
+// ranges.
+func (x *ShardedIndex) Partition() PartitionScheme {
+	x.opMu.RLock()
+	defer x.opMu.RUnlock()
+	return x.sopts.Partition
+}
 
 // ShardLens returns the number of objects per shard (diagnostics and
 // balance monitoring).
@@ -253,10 +286,12 @@ func (x *ShardedIndex) ShardLens() []int {
 }
 
 // SetIOLatency simulates a per-page-access service time on every shard's
-// store. Zero disables the simulation.
+// store. Zero disables the simulation. The setting survives rebalances:
+// shards rebuilt by a partition upgrade inherit it.
 func (x *ShardedIndex) SetIOLatency(d time.Duration) {
 	x.opMu.RLock()
 	defer x.opMu.RUnlock()
+	x.ioLatency.Store(int64(d))
 	for _, s := range x.shards {
 		s.SetIOLatency(d)
 	}
@@ -377,12 +412,14 @@ func (x *ShardedIndex) checkpointLocked() error {
 	return nil
 }
 
-// Close closes every shard (stopping its background merger and merging
-// buffered deltas down), then syncs and closes every shard's
-// write-ahead log (no-op without durability). Reads keep working;
-// further mutations fail their durable append. Close does not
-// checkpoint: recovery replays the logs onto the last snapshot.
+// Close stops the rebalancer loop (if running) and closes every shard
+// (stopping its background merger and merging buffered deltas down),
+// then syncs and closes every shard's write-ahead log (no-op without
+// durability). Reads keep working; further mutations fail their durable
+// append. Close does not checkpoint: recovery replays the logs onto the
+// last snapshot.
 func (x *ShardedIndex) Close() error {
+	x.stopRebalancer()
 	var err error
 	for _, s := range x.shards {
 		err = errors.Join(err, s.Close())
@@ -431,7 +468,21 @@ func (x *ShardedIndex) Insert(id uint64, p Point) error {
 		x.mu.Unlock()
 		return err
 	}
-	return x.logTo(s, wal.TypeInsert, []wal.Op{{ID: id, X: p.X, Y: p.Y}})
+	if err := x.logTo(s, wal.TypeInsert, []wal.Op{{ID: id, X: p.X, Y: p.Y}}); err != nil {
+		// Applied but not logged: the caller sees an error, so the state
+		// change must not stick — recovery would silently lose an object
+		// the index still serves. Roll the tree and table back, mirroring
+		// the apply-error path above.
+		err = errors.Join(err, x.shards[s].Delete(id))
+		x.mu.Lock()
+		if cur, ok := x.objects[id]; ok && cur == p {
+			delete(x.objects, id)
+		}
+		x.mu.Unlock()
+		return err
+	}
+	x.load.RecordUpdates(s, shard.CellKey(p), 1)
+	return nil
 }
 
 // Update moves an existing object to p. A move within one shard runs
@@ -462,7 +513,20 @@ func (x *ShardedIndex) Update(id uint64, p Point) error {
 	}
 	// The move is logged once, in the shard that now owns the object;
 	// replay re-routes it, re-deriving the cross-shard delete+insert.
-	return x.logTo(x.router.ShardOf(p), wal.TypeBatch, []wal.Op{{ID: id, X: p.X, Y: p.Y}})
+	dst := x.router.ShardOf(p)
+	if err := x.logTo(dst, wal.TypeBatch, []wal.Op{{ID: id, X: p.X, Y: p.Y}}); err != nil {
+		// Applied but not logged: move the object back and restore the
+		// table so the errored call leaves no acked-but-unreplayable state.
+		err = errors.Join(err, x.moveRouted(id, p, old))
+		x.mu.Lock()
+		if cur, ok := x.objects[id]; ok && cur == p {
+			x.objects[id] = old
+		}
+		x.mu.Unlock()
+		return err
+	}
+	x.load.RecordUpdates(dst, shard.CellKey(p), 1)
+	return nil
 }
 
 // moveRouted applies one move against the shard trees: in-shard update
@@ -508,7 +572,19 @@ func (x *ShardedIndex) Delete(id uint64) error {
 		x.mu.Unlock()
 		return err
 	}
-	return x.logTo(s, wal.TypeDelete, []wal.Op{{ID: id}})
+	if err := x.logTo(s, wal.TypeDelete, []wal.Op{{ID: id}}); err != nil {
+		// Applied but not logged: resurrect the object so the errored
+		// delete leaves nothing for recovery to disagree about.
+		err = errors.Join(err, x.shards[s].Insert(id, old))
+		x.mu.Lock()
+		if _, ok := x.objects[id]; !ok {
+			x.objects[id] = old
+		}
+		x.mu.Unlock()
+		return err
+	}
+	x.load.RecordUpdates(s, shard.CellKey(old), 1)
+	return nil
 }
 
 // crossMove is one batch change that leaves its shard: a delete in src
@@ -553,6 +629,14 @@ func (x *ShardedIndex) UpdateBatch(changes []Change) (BatchResult, error) {
 	x.opMu.RLock()
 	defer x.opMu.RUnlock()
 	var res BatchResult
+	// Load accounting records the offered stream, before coalescing: a
+	// hot object updated many times per batch coalesces into one applied
+	// change, but each of those updates was traffic the owning shard
+	// absorbed — undercounting them would hide exactly the skew the
+	// rebalancer exists to detect.
+	for _, c := range changes {
+		x.load.RecordUpdates(x.router.ShardOf(c.To), shard.CellKey(c.To), 1)
+	}
 	x.mu.RLock()
 	coalesced, dropped, err := coalesceChanges(changes, func(id uint64) (Point, bool) {
 		p, ok := x.objects[id]
@@ -696,12 +780,17 @@ func (x *ShardedIndex) UpdateBatch(changes []Change) (BatchResult, error) {
 
 // Search returns the ids of all objects inside the window q, scattering
 // to the shards overlapping q in parallel and gathering the results.
-// Each object is owned by exactly one shard, so the gather is exact and
-// duplicate-free.
+// Each object is owned by exactly one shard at any instant, but a
+// scatter racing a cross-shard move can still see the mover in both its
+// shards (delete not yet visited, insert already visited), so the
+// gather de-duplicates: every id appears at most once.
 func (x *ShardedIndex) Search(q Rect) ([]uint64, error) {
 	x.opMu.RLock()
 	defer x.opMu.RUnlock()
 	targets := x.router.ShardsFor(q)
+	for _, s := range targets {
+		x.load.RecordQuery(s)
+	}
 	if len(targets) == 1 {
 		return x.shards[targets[0]].Search(q)
 	}
@@ -716,12 +805,23 @@ func (x *ShardedIndex) Search(q Rect) ([]uint64, error) {
 		}(i, s)
 	}
 	wg.Wait()
-	var out []uint64
+	total := 0
 	for i := range targets {
 		if errs[i] != nil {
 			return nil, errs[i]
 		}
-		out = append(out, outs[i]...)
+		total += len(outs[i])
+	}
+	seen := make(map[uint64]struct{}, total)
+	out := make([]uint64, 0, total)
+	for i := range targets {
+		for _, id := range outs[i] {
+			if _, dup := seen[id]; dup {
+				continue
+			}
+			seen[id] = struct{}{}
+			out = append(out, id)
+		}
 	}
 	return out, nil
 }
@@ -729,13 +829,26 @@ func (x *ShardedIndex) Search(q Rect) ([]uint64, error) {
 // SearchFunc streams the objects inside q to visit; return false to stop
 // early. The scatter is sequential in shard order so the callback is
 // never invoked concurrently; each shard is visited under its own shared
-// granule locks.
+// granule locks. Each id is visited at most once, even when the scatter
+// races a cross-shard move that makes the object surface in two shards.
 func (x *ShardedIndex) SearchFunc(q Rect, visit func(id uint64, p Point) bool) error {
 	x.opMu.RLock()
 	defer x.opMu.RUnlock()
+	targets := x.router.ShardsFor(q)
+	var seen map[uint64]struct{}
+	if len(targets) > 1 {
+		seen = make(map[uint64]struct{})
+	}
 	stopped := false
-	for _, s := range x.router.ShardsFor(q) {
+	for _, s := range targets {
+		x.load.RecordQuery(s)
 		err := x.shards[s].SearchFunc(q, func(id uint64, p Point) bool {
+			if seen != nil {
+				if _, dup := seen[id]; dup {
+					return true
+				}
+				seen[id] = struct{}{}
+			}
 			if !visit(id, p) {
 				stopped = true
 				return false
@@ -752,34 +865,42 @@ func (x *ShardedIndex) SearchFunc(q Rect, visit func(id uint64, p Point) bool) e
 	return nil
 }
 
-// Count returns the number of objects inside q, scattering to the
-// overlapping shards in parallel and summing.
+// Count returns the number of objects inside q. A single-shard window
+// counts directly in that shard; a multi-shard window gathers ids and
+// counts the distinct ones — summing per-shard counts would double-count
+// an object a racing cross-shard move surfaced in two shard visits.
 func (x *ShardedIndex) Count(q Rect) (int, error) {
 	x.opMu.RLock()
 	defer x.opMu.RUnlock()
 	targets := x.router.ShardsFor(q)
 	if len(targets) == 1 {
+		x.load.RecordQuery(targets[0])
 		return x.shards[targets[0]].Count(q)
 	}
-	counts := make([]int, len(targets))
+	for _, s := range targets {
+		x.load.RecordQuery(s)
+	}
+	outs := make([][]uint64, len(targets))
 	errs := make([]error, len(targets))
 	var wg sync.WaitGroup
 	for i, s := range targets {
 		wg.Add(1)
 		go func(i, s int) {
 			defer wg.Done()
-			counts[i], errs[i] = x.shards[s].Count(q)
+			outs[i], errs[i] = x.shards[s].Search(q)
 		}(i, s)
 	}
 	wg.Wait()
-	total := 0
+	seen := make(map[uint64]struct{})
 	for i := range targets {
 		if errs[i] != nil {
 			return 0, errs[i]
 		}
-		total += counts[i]
+		for _, id := range outs[i] {
+			seen[id] = struct{}{}
+		}
 	}
-	return total, nil
+	return len(seen), nil
 }
 
 // Nearest returns the k objects nearest to p in increasing distance. The
@@ -811,9 +932,15 @@ func (x *ShardedIndex) Nearest(p Point, k int) ([]Neighbor, error) {
 	})
 	var best []Neighbor
 	for _, sd := range order {
+		// Prune only when k candidates are already in hand: with fewer
+		// than k gathered (empty or sparse shards — the common state under
+		// skew), every remaining shard must still be visited no matter how
+		// far its region lies, or the scan would return an under-filled
+		// result while farther shards hold real neighbours.
 		if len(best) == k && sd.dist > best[k-1].Dist {
 			break
 		}
+		x.load.RecordQuery(sd.s)
 		ns, err := x.shards[sd.s].Nearest(p, k)
 		if err != nil {
 			return nil, err
@@ -824,7 +951,9 @@ func (x *ShardedIndex) Nearest(p Point, k int) ([]Neighbor, error) {
 }
 
 // mergeNeighbors merges two ascending neighbour lists, keeping the k
-// nearest with deterministic (distance, id) ordering.
+// nearest with deterministic (distance, id) ordering. Ids are
+// de-duplicated, keeping the nearest copy: shard visits racing a
+// cross-shard move can both report the mover.
 func mergeNeighbors(a, b []Neighbor, k int) []Neighbor {
 	out := append(a, b...)
 	sort.Slice(out, func(i, j int) bool {
@@ -833,6 +962,16 @@ func mergeNeighbors(a, b []Neighbor, k int) []Neighbor {
 		}
 		return out[i].ID < out[j].ID
 	})
+	seen := make(map[uint64]struct{}, len(out))
+	kept := out[:0]
+	for _, n := range out {
+		if _, dup := seen[n.ID]; dup {
+			continue
+		}
+		seen[n.ID] = struct{}{}
+		kept = append(kept, n)
+	}
+	out = kept
 	if len(out) > k {
 		out = out[:k]
 	}
