@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race lint burlint fmt clean
+.PHONY: all build test race lint burlint selflint allocs fmt clean
 
 all: build test lint
 
@@ -19,12 +19,22 @@ race:
 burlint: bin/burlint
 	$(GO) vet -vettool=$(CURDIR)/bin/burlint ./...
 
+# selflint runs burlint over its own analyzers through the standalone
+# `go list -export` protocol, exercising the loader path go vet skips.
+selflint: bin/burlint
+	./bin/burlint ./internal/lint/... ./cmd/burlint/...
+
 bin/burlint: FORCE
 	$(GO) build -o bin/burlint ./cmd/burlint
 
-lint: burlint
+lint: burlint selflint
 	$(GO) vet ./...
 	$(GO) test ./internal/lint/...
+
+# allocs enforces the hot-path allocation budgets committed in
+# BENCH_allocs.json (see allocbench_test.go).
+allocs:
+	$(GO) test -run TestAllocBudget -count=1 -v .
 
 fmt:
 	gofmt -w $$(git ls-files '*.go')

@@ -1,0 +1,138 @@
+package burtree_test
+
+// Per-op allocation benchmarks for the hot batch path, plus the budget
+// gate that holds them to the thresholds committed in
+// BENCH_allocs.json. The static side of the same contract is the
+// hotpath analyzer (internal/lint/analyzers/hotpath): burlint rejects
+// per-op allocation sites reachable from //burlint:hotpath roots, and
+// this gate catches what escapes static analysis (allocations inside
+// the runtime, map growth, append growth).
+//
+// To re-baseline after an intentional change, run
+//
+//	go test -run TestAllocBudget -v .
+//
+// and copy the reported allocs/op into BENCH_allocs.json with ~25%
+// headroom (the paths are deterministic, but map/append growth varies
+// a little with b.N).
+
+import (
+	"encoding/json"
+	"math/rand"
+	"os"
+	"sort"
+	"testing"
+
+	"burtree"
+)
+
+// benchAllocUpdateBatch drives steady-state batched updates against a
+// populated index; allocs/op is the allocation cost of one whole batch
+// window (256 moves).
+func benchAllocUpdateBatch(b *testing.B, s burtree.Strategy, memtable bool) {
+	const n = 4096
+	const batch = 256
+	opts := burtree.Options{Strategy: s, ExpectedObjects: n, BufferPages: 256}
+	if memtable {
+		// A threshold the bench never trips: the gate measures the pure
+		// absorb path, not the amortized merge-down.
+		opts.Memtable = burtree.Memtable{Enabled: true, MaxObjects: 1 << 20}
+	}
+	x, err := burtree.Open(opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < n; i++ {
+		if err := x.Insert(uint64(i), burtree.Point{X: rng.Float64(), Y: rng.Float64()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	changes := make([]burtree.Change, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range changes {
+			id := uint64(rng.Intn(n))
+			p, _ := x.Location(id)
+			changes[j] = burtree.Change{ID: id, To: burtree.Point{
+				X: p.X + (rng.Float64()*2-1)*0.03,
+				Y: p.Y + (rng.Float64()*2-1)*0.03,
+			}}
+		}
+		if _, err := x.UpdateBatch(changes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUpdateBatchAllocsGBU(b *testing.B) {
+	benchAllocUpdateBatch(b, burtree.GeneralizedBottomUp, false)
+}
+
+func BenchmarkUpdateBatchAllocsLBU(b *testing.B) {
+	benchAllocUpdateBatch(b, burtree.LocalizedBottomUp, false)
+}
+
+func BenchmarkUpdateBatchAllocsMemtable(b *testing.B) {
+	benchAllocUpdateBatch(b, burtree.GeneralizedBottomUp, true)
+}
+
+// allocBudgetBenches maps each budget entry in BENCH_allocs.json to
+// the benchmark that measures it.
+var allocBudgetBenches = map[string]func(*testing.B){
+	"UpdateBatchGBU":      BenchmarkUpdateBatchAllocsGBU,
+	"UpdateBatchLBU":      BenchmarkUpdateBatchAllocsLBU,
+	"UpdateBatchMemtable": BenchmarkUpdateBatchAllocsMemtable,
+}
+
+// allocBudgetFile is the committed allocation-threshold schema.
+type allocBudgetFile struct {
+	// Note documents the file for readers landing on the JSON.
+	Note string `json:"note"`
+	// Budgets maps benchmark key to the maximum allowed allocs/op.
+	Budgets map[string]int64 `json:"budgets"`
+}
+
+// TestAllocBudget fails when a hot-path benchmark exceeds its
+// committed allocs/op threshold — the dynamic complement of the
+// hotpath analyzer. Run without -short (CI has a dedicated step).
+func TestAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation budget gate runs full benchmarks; skipped with -short")
+	}
+	data, err := os.ReadFile("BENCH_allocs.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f allocBudgetFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("parsing BENCH_allocs.json: %v", err)
+	}
+	for name := range f.Budgets {
+		if _, ok := allocBudgetBenches[name]; !ok {
+			t.Errorf("BENCH_allocs.json budgets %q but no benchmark measures it", name)
+		}
+	}
+	names := make([]string, 0, len(allocBudgetBenches))
+	for name := range allocBudgetBenches {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		budget, ok := f.Budgets[name]
+		if !ok {
+			t.Errorf("%s: no budget in BENCH_allocs.json", name)
+			continue
+		}
+		r := testing.Benchmark(allocBudgetBenches[name])
+		got := r.AllocsPerOp()
+		if got > budget {
+			t.Errorf("%s: %d allocs/op exceeds the committed budget %d; "+
+				"hoist the new per-op allocation or re-baseline BENCH_allocs.json with the regression explained",
+				name, got, budget)
+			continue
+		}
+		t.Logf("%s: %d allocs/op (budget %d)", name, got, budget)
+	}
+}

@@ -461,6 +461,12 @@ func (x *Index) Insert(id uint64, p Point) error {
 		x.mem.Insert(id, p)
 		x.objects[id] = p
 		if err := x.logAppend(wal.TypeInsert, []wal.Op{{ID: id, X: p.X, Y: p.Y}}); err != nil {
+			// Absorbed but not logged: the caller sees an error, so the
+			// insert must not stick — recovery would silently lose an
+			// object the index still serves. The delete delta cancels the
+			// absorbed insert outright.
+			x.mem.Delete(id, p)
+			delete(x.objects, id)
 			return err
 		}
 		return x.maybeMerge()
@@ -469,7 +475,14 @@ func (x *Index) Insert(id uint64, p Point) error {
 		return err
 	}
 	x.objects[id] = p
-	return x.logAppend(wal.TypeInsert, []wal.Op{{ID: id, X: p.X, Y: p.Y}})
+	if err := x.logAppend(wal.TypeInsert, []wal.Op{{ID: id, X: p.X, Y: p.Y}}); err != nil {
+		// Applied but not logged: roll the tree and table back, as the
+		// sharded front-end does.
+		err = errors.Join(err, x.updater.Delete(id, p))
+		delete(x.objects, id)
+		return err
+	}
+	return nil
 }
 
 // Update moves an existing object to p using the configured strategy.
@@ -487,6 +500,10 @@ func (x *Index) Update(id uint64, p Point) error {
 		x.mem.Update(id, p, old)
 		x.objects[id] = p
 		if err := x.logAppend(wal.TypeBatch, []wal.Op{{ID: id, X: p.X, Y: p.Y}}); err != nil {
+			// Absorbed but not logged: re-absorb the old position so the
+			// errored move leaves no acked-but-unreplayable state.
+			x.mem.Update(id, old, p)
+			x.objects[id] = old
 			return err
 		}
 		return x.maybeMerge()
@@ -495,7 +512,14 @@ func (x *Index) Update(id uint64, p Point) error {
 		return err
 	}
 	x.objects[id] = p
-	return x.logAppend(wal.TypeBatch, []wal.Op{{ID: id, X: p.X, Y: p.Y}})
+	if err := x.logAppend(wal.TypeBatch, []wal.Op{{ID: id, X: p.X, Y: p.Y}}); err != nil {
+		// Applied but not logged: move the object back and restore the
+		// table, mirroring the sharded front-end's rollback.
+		err = errors.Join(err, x.updater.Update(id, p, old))
+		x.objects[id] = old
+		return err
+	}
+	return nil
 }
 
 // Change is one object move inside a batch: object ID moves to
@@ -623,6 +647,15 @@ func (x *Index) absorbBatch(coalesced []core.BatchChange, res BatchResult) (Batc
 	res.Applied = len(coalesced)
 	res.Absorbed = len(coalesced)
 	if err := x.logAppend(wal.TypeBatch, applied); err != nil {
+		// Absorbed but not logged: unwind every delta so the failed
+		// batch leaves the tier exactly as it was — the absorb path is
+		// atomic at the ack level, so the rollback must be too.
+		for _, c := range coalesced {
+			x.mem.Update(c.OID, c.Old, c.New)
+			x.objects[c.OID] = c.Old
+		}
+		res.Applied = 0
+		res.Absorbed = 0
 		return res, err
 	}
 	return res, x.maybeMerge()
@@ -638,6 +671,11 @@ func (x *Index) Delete(id uint64) error {
 		x.mem.Delete(id, old)
 		delete(x.objects, id)
 		if err := x.logAppend(wal.TypeDelete, []wal.Op{{ID: id}}); err != nil {
+			// Absorbed but not logged: resurrect the object so the
+			// errored delete leaves nothing for recovery to disagree
+			// about.
+			x.mem.Insert(id, old)
+			x.objects[id] = old
 			return err
 		}
 		return x.maybeMerge()
@@ -646,7 +684,14 @@ func (x *Index) Delete(id uint64) error {
 		return err
 	}
 	delete(x.objects, id)
-	return x.logAppend(wal.TypeDelete, []wal.Op{{ID: id}})
+	if err := x.logAppend(wal.TypeDelete, []wal.Op{{ID: id}}); err != nil {
+		// Applied but not logged: resurrect the object in tree and
+		// table, mirroring the sharded front-end's rollback.
+		err = errors.Join(err, x.updater.Insert(id, old))
+		x.objects[id] = old
+		return err
+	}
+	return nil
 }
 
 // Location returns the current indexed position of an object.

@@ -270,6 +270,15 @@ func (x *ConcurrentIndex) Insert(id uint64, p Point) error {
 		x.mem.Insert(id, p)
 		x.mu.Unlock()
 		if err := x.logAppend(wal.TypeInsert, []wal.Op{{ID: id, X: p.X, Y: p.Y}}); err != nil {
+			// Absorbed but not logged: cancel the absorbed insert — unless
+			// a concurrent writer already superseded the entry, in which
+			// case its state must survive.
+			x.mu.Lock()
+			if cur, ok := x.objects[id]; ok && cur == p {
+				delete(x.objects, id)
+				x.mem.Delete(id, p)
+			}
+			x.mu.Unlock()
 			return err
 		}
 		x.signalMerge()
@@ -295,7 +304,18 @@ func (x *ConcurrentIndex) Insert(id uint64, p Point) error {
 		x.mu.Unlock()
 		return err
 	}
-	return x.logAppend(wal.TypeInsert, []wal.Op{{ID: id, X: p.X, Y: p.Y}})
+	if err := x.logAppend(wal.TypeInsert, []wal.Op{{ID: id, X: p.X, Y: p.Y}}); err != nil {
+		// Applied but not logged: roll the tree and table back
+		// (compare-and-delete, as in the apply-error path above).
+		err = errors.Join(err, x.db.Delete(id, p))
+		x.mu.Lock()
+		if cur, ok := x.objects[id]; ok && cur == p {
+			delete(x.objects, id)
+		}
+		x.mu.Unlock()
+		return err
+	}
+	return nil
 }
 
 // Update moves an existing object to p. Updates to different objects
@@ -322,6 +342,14 @@ func (x *ConcurrentIndex) Update(id uint64, p Point) error {
 		x.mem.Update(id, p, old)
 		x.mu.Unlock()
 		if err := x.logAppend(wal.TypeBatch, []wal.Op{{ID: id, X: p.X, Y: p.Y}}); err != nil {
+			// Absorbed but not logged: re-absorb the old position unless a
+			// newer concurrent write superseded this one.
+			x.mu.Lock()
+			if cur, ok := x.objects[id]; ok && cur == p {
+				x.objects[id] = old
+				x.mem.Update(id, old, p)
+			}
+			x.mu.Unlock()
 			return err
 		}
 		x.signalMerge()
@@ -348,7 +376,18 @@ func (x *ConcurrentIndex) Update(id uint64, p Point) error {
 		x.mu.Unlock()
 		return err
 	}
-	return x.logAppend(wal.TypeBatch, []wal.Op{{ID: id, X: p.X, Y: p.Y}})
+	if err := x.logAppend(wal.TypeBatch, []wal.Op{{ID: id, X: p.X, Y: p.Y}}); err != nil {
+		// Applied but not logged: move the object back (compare-and-
+		// restore, as in the apply-error path above).
+		err = errors.Join(err, x.db.Update(id, p, old))
+		x.mu.Lock()
+		if cur, ok := x.objects[id]; ok && cur == p {
+			x.objects[id] = old
+		}
+		x.mu.Unlock()
+		return err
+	}
+	return nil
 }
 
 // UpdateBatch moves many objects at once through the batched bottom-up
@@ -421,6 +460,14 @@ func (x *ConcurrentIndex) Delete(id uint64) error {
 		x.mem.Delete(id, old)
 		x.mu.Unlock()
 		if err := x.logAppend(wal.TypeDelete, []wal.Op{{ID: id}}); err != nil {
+			// Absorbed but not logged: resurrect the object unless a
+			// concurrent Insert re-created the id.
+			x.mu.Lock()
+			if _, ok := x.objects[id]; !ok {
+				x.objects[id] = old
+				x.mem.Insert(id, old)
+			}
+			x.mu.Unlock()
 			return err
 		}
 		x.signalMerge()
@@ -445,7 +492,18 @@ func (x *ConcurrentIndex) Delete(id uint64) error {
 		x.mu.Unlock()
 		return err
 	}
-	return x.logAppend(wal.TypeDelete, []wal.Op{{ID: id}})
+	if err := x.logAppend(wal.TypeDelete, []wal.Op{{ID: id}}); err != nil {
+		// Applied but not logged: resurrect the object in tree and table
+		// (compare-and-restore, as in the apply-error path above).
+		err = errors.Join(err, x.db.Insert(id, old))
+		x.mu.Lock()
+		if _, ok := x.objects[id]; !ok {
+			x.objects[id] = old
+		}
+		x.mu.Unlock()
+		return err
+	}
+	return nil
 }
 
 // absorbBatch is the memtable-mode tail of UpdateBatch: the batch is
@@ -480,6 +538,19 @@ func (x *ConcurrentIndex) absorbBatch(changes []Change, res BatchResult) (BatchR
 	res.Applied = len(coalesced)
 	res.Absorbed = len(coalesced)
 	if err := x.logAppend(wal.TypeBatch, applied); err != nil {
+		// Absorbed but not logged: unwind each delta (compare-and-restore
+		// per object — concurrent writers that superseded an entry keep
+		// theirs), so the failed batch acks nothing.
+		x.mu.Lock()
+		for _, c := range coalesced {
+			if cur, ok := x.objects[c.OID]; ok && cur == c.New {
+				x.objects[c.OID] = c.Old
+				x.mem.Update(c.OID, c.Old, c.New)
+			}
+		}
+		x.mu.Unlock()
+		res.Applied = 0
+		res.Absorbed = 0
 		return res, err
 	}
 	x.signalMerge()

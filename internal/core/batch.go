@@ -162,16 +162,17 @@ func groupByLeaf(ga GroupApplier, changes []BatchChange) (groups []leafGroup, lo
 	return groups, loose
 }
 
-// oidSet indexes a change slice by object id.
-func oidSet(changes []BatchChange) map[rtree.OID]bool {
-	if len(changes) == 0 {
-		return nil
-	}
-	set := make(map[rtree.OID]bool, len(changes))
+// containsOID reports whether changes holds an entry for oid. A linear
+// scan: group slices are leaf-fanout-sized, and the scan keeps the
+// per-group membership check allocation-free on the hot batch path
+// (indexing into a map here cost one map allocation per leaf group).
+func containsOID(changes []BatchChange, oid rtree.OID) bool {
 	for _, c := range changes {
-		set[c.OID] = true
+		if c.OID == oid {
+			return true
+		}
 	}
-	return set
+	return false
 }
 
 // ApplyBatch applies an already-coalesced batch of changes through u.
@@ -183,6 +184,8 @@ func oidSet(changes []BatchChange) map[rtree.OID]bool {
 // done, when non-nil, is invoked after each change is applied; on error
 // the batch stops, so done has been called exactly for the applied
 // prefix (a batch is not atomic).
+//
+//burlint:hotpath
 func ApplyBatch(u Updater, changes []BatchChange, done func(BatchChange)) (BatchStats, error) {
 	var st BatchStats
 	applySequential := func(cs []BatchChange) error {
@@ -211,9 +214,8 @@ func ApplyBatch(u Updater, changes []BatchChange, done func(BatchChange)) (Batch
 		if err != nil {
 			return st, err
 		}
-		skip := oidSet(unresolved)
 		for _, c := range g.changes {
-			if skip[c.OID] {
+			if containsOID(unresolved, c.OID) {
 				continue
 			}
 			st.Changes++

@@ -475,6 +475,8 @@ func (s *gbuStrategy) LeafOf(oid rtree.OID) (rtree.PageID, error) {
 // its parent entry are written back once for the whole group. Fast
 // movers, underflow risks and points beyond the achievable extension
 // are returned unresolved, untouched, for the per-object path.
+//
+//burlint:hotpath
 func (s *gbuStrategy) ApplyLeafGroup(leafPage rtree.PageID, group []BatchChange) ([]BatchChange, error) {
 	t := s.tree
 	if t.Height() <= 1 {
@@ -572,18 +574,11 @@ func (s *gbuStrategy) ApplyLeafGroup(leafPage rtree.PageID, group []BatchChange)
 func (s *gbuStrategy) UpdateAtLeaf(leafPage rtree.PageID, c BatchChange, localOnly bool) (bool, error) {
 	t := s.tree
 	newRect := geom.RectFromPoint(c.New)
-	topDown := func(oldRect geom.Rect) (bool, error) {
-		s.out.topDown.Add(1)
-		if err := t.Update(c.OID, oldRect, newRect); err != nil {
-			return false, err
-		}
-		return true, s.adapter.Err()
-	}
 	if t.Height() <= 1 {
 		if localOnly {
 			return false, nil
 		}
-		return topDown(geom.RectFromPoint(c.Old))
+		return s.topDownEscalate(c.OID, geom.RectFromPoint(c.Old), newRect)
 	}
 	leaf, err := t.ReadNode(leafPage)
 	if err != nil && !errors.Is(err, pagestore.ErrPageFreed) {
@@ -607,7 +602,7 @@ func (s *gbuStrategy) UpdateAtLeaf(leafPage rtree.PageID, c BatchChange, localOn
 		if localOnly {
 			return false, nil
 		}
-		return topDown(leaf.Entries[li].Rect)
+		return s.topDownEscalate(c.OID, leaf.Entries[li].Rect, newRect)
 	}
 	res, err := s.attemptLocalAt(c.Old, c.New, newRect, leaf, li)
 	if err != nil {
@@ -620,12 +615,24 @@ func (s *gbuStrategy) UpdateAtLeaf(leafPage rtree.PageID, c BatchChange, localOn
 		if localOnly {
 			return false, nil
 		}
-		return topDown(leaf.Entries[li].Rect)
+		return s.topDownEscalate(c.OID, leaf.Entries[li].Rect, newRect)
 	}
 	if localOnly {
 		return false, nil
 	}
 	if err := s.ascend(c.OID, c.New, newRect, leaf, li); err != nil {
+		return false, err
+	}
+	return true, s.adapter.Err()
+}
+
+// topDownEscalate hands one change to the tree's top-down update path,
+// counting the escalation. A method rather than a closure inside
+// UpdateAtLeaf: the closure allocated per fallback op on the batch hot
+// path.
+func (s *gbuStrategy) topDownEscalate(oid rtree.OID, oldRect, newRect geom.Rect) (bool, error) {
+	s.out.topDown.Add(1)
+	if err := s.tree.Update(oid, oldRect, newRect); err != nil {
 		return false, err
 	}
 	return true, s.adapter.Err()

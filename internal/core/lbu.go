@@ -268,6 +268,8 @@ func (s *lbuStrategy) LeafOf(oid rtree.OID) (rtree.PageID, error) {
 // movement direction, so a single Kwon-style eMBR covers every change
 // the sequential path could have resolved by extension. The leaf and
 // the parent's mirroring entry are written back once for the group.
+//
+//burlint:hotpath
 func (s *lbuStrategy) ApplyLeafGroup(leafPage rtree.PageID, group []BatchChange) ([]BatchChange, error) {
 	t := s.tree
 	leaf, err := t.ReadNode(leafPage)

@@ -1,0 +1,356 @@
+// Package goroutinelife enforces the background-goroutine lifecycle
+// contract in library code.
+//
+// Every long-lived component in this engine owns its goroutines: the
+// memtable merger and the shard rebalancer loop select on a stop
+// channel and are joined through a WaitGroup by halt/stopRebalancer;
+// the batch scatter phases join their workers before returning. A
+// goroutine that nothing joins outlives its owner — Close returns
+// while the loop still touches freed state, tests leak OS threads,
+// and a crash in the orphan is unattributable. The group-commit
+// leader in the WAL had exactly this shape before this analyzer.
+//
+// For each `go` statement in non-main, non-test code the analyzer
+// resolves the spawned body (a function literal, or a same-package
+// function/method called statically, like `go x.merge.run(...)`) and
+// checks two things:
+//
+//   - Termination: every unconditional `for {}` loop in the body must
+//     have a way out — a return or break, typically the stop-channel
+//     select case. Ranging over a channel terminates when the owner
+//     closes it, so it passes.
+//
+//   - Join: the goroutine must be tied back to an owner. Evidence is
+//     a WaitGroup the body calls Done on (directly or through
+//     same-package callees, translated through call arguments) that
+//     some function in the package Waits on, or a channel the body
+//     sends on or closes that some function in the package receives
+//     from. Field-held WaitGroups (x.rebalWG, merger.done) match by
+//     field identity, so the Wait may live in Close/Stop far from the
+//     spawn.
+//
+// A goroutine that is deliberately fire-and-forget needs a per-line
+// `//burlint:ignore goroutinelife <reason>` stating who bounds its
+// lifetime.
+package goroutinelife
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"burtree/internal/lint/framework"
+)
+
+// Analyzer is the goroutinelife analyzer.
+var Analyzer = &framework.Analyzer{
+	Name: "goroutinelife",
+	Doc: "every go statement in library code must spawn a stoppable goroutine (infinite loops need a " +
+		"return/break path, e.g. a stop-channel select) that an owner joins via a WaitGroup Wait or a " +
+		"channel receive reachable from Close/Stop",
+	Run: run,
+}
+
+func run(pass *framework.Pass) error {
+	if pass.Pkg == nil || pass.Pkg.Name() == "main" {
+		return nil
+	}
+	joins := packageJoinPoints(pass)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			checkSpawn(pass, g, joins)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSpawn(pass *framework.Pass, g *ast.GoStmt, joins *joinPoints) {
+	body := spawnedBody(pass, g.Call)
+	if body == nil {
+		return // dynamic call: cannot resolve, stay quiet
+	}
+	if loop := unstoppableLoop(body); loop != nil {
+		pass.Reportf(loop.Pos(), "goroutine loops forever with no way out: add a return or break path (select on a stop channel) so Close/Stop can end it")
+	}
+	if !isJoined(pass, g, joins) {
+		pass.Reportf(g.Pos(), "goroutine is never joined: no WaitGroup it marks Done is Waited on and no channel it signals is received from; tie it to its owner's Close/Stop")
+	}
+}
+
+// spawnedBody resolves the body the go statement runs: a function
+// literal's own body, or the declaration of a statically-called
+// same-package function.
+func spawnedBody(pass *framework.Pass, call *ast.CallExpr) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if callee := framework.StaticCallee(pass.TypesInfo, call); callee != nil {
+		if fn := pass.Prog.FuncOf(callee); fn != nil {
+			return fn.Decl.Body
+		}
+	}
+	return nil
+}
+
+// unstoppableLoop returns the first `for {}` loop in body (nested
+// literals excluded) with no exit: no return, no break out of it, and
+// not a range over a channel.
+func unstoppableLoop(body *ast.BlockStmt) *ast.ForStmt {
+	var bad *ast.ForStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if bad != nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil {
+			return true
+		}
+		if !hasExit(loop) {
+			bad = loop
+		}
+		return true
+	})
+	return bad
+}
+
+// hasExit reports whether the infinite loop contains a return, a
+// break that leaves it, or a goto (assumed outward).
+func hasExit(loop *ast.ForStmt) bool {
+	exit := false
+	depth := 0
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			if exit {
+				return false
+			}
+			switch m := m.(type) {
+			case *ast.FuncLit:
+				return false
+			case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				if m != ast.Node(loop) {
+					// A nested breakable construct: an unlabeled break
+					// inside it does not leave our loop. Walk it with
+					// depth+1.
+					depth++
+					switch s := m.(type) {
+					case *ast.ForStmt:
+						walk(s.Body)
+					case *ast.RangeStmt:
+						walk(s.Body)
+					case *ast.SwitchStmt:
+						walk(s.Body)
+					case *ast.TypeSwitchStmt:
+						walk(s.Body)
+					case *ast.SelectStmt:
+						walk(s.Body)
+					}
+					depth--
+					return false
+				}
+			case *ast.ReturnStmt:
+				exit = true
+			case *ast.BranchStmt:
+				switch {
+				case m.Tok == token.GOTO:
+					exit = true
+				case m.Tok == token.BREAK && (m.Label != nil || depth == 0):
+					exit = true
+				}
+			}
+			return true
+		})
+	}
+	walk(loop.Body)
+	return exit
+}
+
+// joinPoints is the package-wide owner side of the contract: which
+// WaitGroup objects are Waited on and which channel objects are
+// received from, anywhere in the package (Close/Stop included).
+type joinPoints struct {
+	waited   map[types.Object]bool
+	received map[types.Object]bool
+}
+
+func packageJoinPoints(pass *framework.Pass) *joinPoints {
+	return pass.Prog.FactOnce("goroutinelife.joins", func() any {
+		j := &joinPoints{waited: map[types.Object]bool{}, received: map[types.Object]bool{}}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					if recv, name, ok := framework.ReceiverOf(pass.TypesInfo, n); ok && name == "Wait" && isWaitGroup(recv) {
+						if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+							if obj := chainObject(pass.TypesInfo, sel.X); obj != nil {
+								j.waited[obj] = true
+							}
+						}
+					}
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						if obj := chainObject(pass.TypesInfo, n.X); obj != nil {
+							j.received[obj] = true
+						}
+					}
+				case *ast.RangeStmt:
+					if t, ok := pass.TypesInfo.Types[n.X]; ok && t.Type != nil {
+						if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+							if obj := chainObject(pass.TypesInfo, n.X); obj != nil {
+								j.received[obj] = true
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+		return j
+	}).(*joinPoints)
+}
+
+// isJoined reports whether the spawned goroutine is tied to an owner:
+// it marks Done on a Waited WaitGroup or signals a received channel.
+func (j *joinPoints) has(done, signaled map[types.Object]bool) bool {
+	for obj := range done {
+		if j.waited[obj] {
+			return true
+		}
+	}
+	for obj := range signaled {
+		if j.received[obj] {
+			return true
+		}
+	}
+	return false
+}
+
+func isJoined(pass *framework.Pass, g *ast.GoStmt, joins *joinPoints) bool {
+	done := map[types.Object]bool{}
+	signaled := map[types.Object]bool{}
+	collectSignals(pass, g.Call, done, signaled, map[*framework.Func]bool{})
+	return joins.has(done, signaled)
+}
+
+// collectSignals gathers, from the spawned call, the WaitGroup objects
+// the goroutine calls Done on and the channel objects it sends on or
+// closes — looking through same-package static callees, translating
+// objects that are the callee's parameters back to the caller's
+// argument objects.
+func collectSignals(pass *framework.Pass, call *ast.CallExpr, done, signaled map[types.Object]bool, seen map[*framework.Func]bool) {
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		bodySignals(pass, lit.Body, done, signaled, seen)
+		return
+	}
+	callee := framework.StaticCallee(pass.TypesInfo, call)
+	if callee == nil {
+		return
+	}
+	fn := pass.Prog.FuncOf(callee)
+	if fn == nil || fn.Decl.Body == nil || seen[fn] {
+		return
+	}
+	seen[fn] = true
+	subDone := map[types.Object]bool{}
+	subSig := map[types.Object]bool{}
+	bodySignals(pass, fn.Decl.Body, subDone, subSig, seen)
+	translate(pass, fn, call, subDone, done)
+	translate(pass, fn, call, subSig, signaled)
+}
+
+// translate maps objects collected inside callee back into the
+// caller's frame: parameter objects become the corresponding argument
+// chains; everything else (fields, captured locals) passes through.
+func translate(pass *framework.Pass, callee *framework.Func, call *ast.CallExpr, in, out map[types.Object]bool) {
+	params := callee.Obj.Signature().Params()
+	for obj := range in {
+		idx := -1
+		for i := 0; i < params.Len(); i++ {
+			if params.At(i) == obj {
+				idx = i
+				break
+			}
+		}
+		if idx >= 0 && idx < len(call.Args) {
+			if arg := chainObject(pass.TypesInfo, call.Args[idx]); arg != nil {
+				out[arg] = true
+			}
+			continue
+		}
+		out[obj] = true
+	}
+}
+
+// bodySignals collects Done calls, channel sends, and channel closes
+// directly in body, descending into nested literals and same-package
+// static callees.
+func bodySignals(pass *framework.Pass, body *ast.BlockStmt, done, signaled map[types.Object]bool, seen map[*framework.Func]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if obj := chainObject(pass.TypesInfo, n.Chan); obj != nil {
+				signaled[obj] = true
+			}
+		case *ast.CallExpr:
+			if recv, name, ok := framework.ReceiverOf(pass.TypesInfo, n); ok && name == "Done" && isWaitGroup(recv) {
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+					if obj := chainObject(pass.TypesInfo, sel.X); obj != nil {
+						done[obj] = true
+					}
+				}
+				return true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "close" && len(n.Args) == 1 {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					if obj := chainObject(pass.TypesInfo, n.Args[0]); obj != nil {
+						signaled[obj] = true
+					}
+					return true
+				}
+			}
+			collectSignals(pass, n, done, signaled, seen)
+		}
+		return true
+	})
+}
+
+// chainObject names a selector/index chain by its most specific
+// object: the field for x.merge.done (stable across functions), the
+// variable for a plain identifier.
+func chainObject(info *types.Info, e ast.Expr) types.Object {
+	switch v := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[v]; obj != nil {
+			return obj
+		}
+		return info.Defs[v]
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[v]; ok {
+			return sel.Obj()
+		}
+		return info.Uses[v.Sel]
+	case *ast.IndexExpr:
+		return chainObject(info, v.X)
+	case *ast.StarExpr:
+		return chainObject(info, v.X)
+	case *ast.UnaryExpr:
+		// &x names the same thing x does (worker(&p.wg, ...)).
+		return chainObject(info, v.X)
+	}
+	return nil
+}
+
+func isWaitGroup(t types.Type) bool {
+	return framework.NamedFrom(t, "sync", "WaitGroup")
+}

@@ -11,6 +11,10 @@
 // widen or rot into a bare comment. Unlike the invariant analyzers,
 // this one runs on _test.go files too: a malformed directive is
 // malformed wherever it lives.
+//
+// File-scope directives (above the package clause) are rejected for
+// hotpath: the allocation budget is audited per statement, so each
+// exemption must sit on the line it excuses.
 package ignoredirective
 
 import (
@@ -54,6 +58,8 @@ func run(pass *framework.Pass, known map[string]bool, list string) error {
 				pass.Reportf(d.Pos, "burlint:ignore names unknown analyzer %q (known: %s)", d.Analyzer, list)
 			case d.Reason == "":
 				pass.Reportf(d.Pos, "burlint:ignore %s has no reason; every suppression must say why it is sound", d.Analyzer)
+			case d.File && d.Analyzer == "hotpath":
+				pass.Reportf(d.Pos, "burlint:ignore hotpath cannot be file-scope: the allocation budget is audited per statement, so put the directive on the line it excuses")
 			}
 		}
 	}

@@ -24,6 +24,11 @@
 // The analysis is a single lexical pass per function body (branches
 // are treated as sequential), which matches how the engine's lock
 // paths are written; function literals are analyzed independently.
+// Calls to same-package helpers participate through an interprocedural
+// summary: each function's transitively-acquired granule tiers are
+// computed over the package call graph, so `x.lockPages(...)` after a
+// page acquisition, or any acquiring helper called under the latch, is
+// checked without name heuristics.
 package lockorder
 
 import (
@@ -54,6 +59,7 @@ const (
 var tierName = map[int]string{tierTree: "tree", tierCell: "cell", tierPage: "page"}
 
 func run(pass *framework.Pass) error {
+	acq := acquireSummary(pass)
 	for _, f := range pass.Files {
 		if pass.IsTestFile(f.Pos()) {
 			continue
@@ -62,11 +68,11 @@ func run(pass *framework.Pass) error {
 			switch n := n.(type) {
 			case *ast.FuncDecl:
 				if n.Body != nil {
-					scanBody(pass, n.Body)
+					scanBody(pass, n.Body, acq)
 				}
 				return false
 			case *ast.FuncLit:
-				scanBody(pass, n.Body)
+				scanBody(pass, n.Body, acq)
 				return false
 			}
 			return true
@@ -75,17 +81,87 @@ func run(pass *framework.Pass) error {
 	return nil
 }
 
+// acquireSummary computes, for every function in the package, the
+// bitmask of granule tiers it (transitively) acquires, by fixed point
+// over the call graph. Shared through the facts store.
+func acquireSummary(pass *framework.Pass) map[*framework.Func]int {
+	return pass.Prog.FactOnce("lockorder.acquires", func() any {
+		masks := make(map[*framework.Func]int)
+		for _, fn := range pass.Prog.SortedFuncs() {
+			if fn.Decl.Body == nil {
+				continue
+			}
+			mask := 0
+			ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				recv, name, ok := framework.ReceiverOf(pass.TypesInfo, call)
+				if ok && isDGLManager(recv) && name == "Acquire" && len(call.Args) >= 2 {
+					if tier := tierOf(call.Args[1]); tier != tierUnknown {
+						mask |= 1 << tier
+					}
+				}
+				return true
+			})
+			masks[fn] = mask
+		}
+		for changed := true; changed; {
+			changed = false
+			for _, fn := range pass.Prog.SortedFuncs() {
+				for _, cs := range fn.Calls {
+					for _, t := range cs.Targets {
+						if merged := masks[fn] | masks[t]; merged != masks[fn] {
+							masks[fn] = merged
+							changed = true
+						}
+					}
+				}
+			}
+		}
+		return masks
+	}).(map[*framework.Func]int)
+}
+
+// summaryOf returns the acquired-tier mask of a call's same-package
+// static callee, 0 otherwise.
+func summaryOf(pass *framework.Pass, call *ast.CallExpr, acq map[*framework.Func]int) int {
+	callee := framework.StaticCallee(pass.TypesInfo, call)
+	if callee == nil {
+		return 0
+	}
+	fn := pass.Prog.FuncOf(callee)
+	if fn == nil {
+		return 0
+	}
+	return acq[fn]
+}
+
 // scanBody walks one function body in lexical order, tracking the
 // latch and the highest granule tier acquired so far. Nested function
-// literals get their own scan with fresh state.
-func scanBody(pass *framework.Pass, body *ast.BlockStmt) {
+// literals get their own scan with fresh state. Same-package calls
+// acquire their summary tiers at the call site.
+func scanBody(pass *framework.Pass, body *ast.BlockStmt, acq map[*framework.Func]int) {
 	latchHeld := false
 	var latchPos token.Pos
 	maxTier := tierUnknown
 
+	acquire := func(pos token.Pos, tier int, via string) {
+		if latchHeld {
+			pass.Reportf(pos, "granule lock acquired%s while holding the exclusive latch (taken at %s); granules must be acquired before the latch", via, pass.Fset.Position(latchPos))
+		}
+		if maxTier != tierUnknown && tier < maxTier {
+			pass.Reportf(pos, "%s granule acquired%s after a %s granule; canonical DGL order is tree → cell → page", tierName[tier], via, tierName[maxTier])
+		}
+		if tier > maxTier {
+			maxTier = tier
+		}
+	}
+
 	ast.Inspect(body, func(n ast.Node) bool {
 		if lit, ok := n.(*ast.FuncLit); ok {
-			scanBody(pass, lit.Body)
+			scanBody(pass, lit.Body, acq)
 			return false
 		}
 		call, ok := n.(*ast.CallExpr)
@@ -94,6 +170,13 @@ func scanBody(pass *framework.Pass, body *ast.BlockStmt) {
 		}
 		recv, name, ok := framework.ReceiverOf(pass.TypesInfo, call)
 		if !ok {
+			if mask := summaryOf(pass, call, acq); mask != 0 {
+				for tier := tierTree; tier <= tierPage; tier++ {
+					if mask&(1<<tier) != 0 {
+						acquire(call.Pos(), tier, " by the called helper")
+					}
+				}
+			}
 			return true
 		}
 		switch {
@@ -120,6 +203,14 @@ func scanBody(pass *framework.Pass, body *ast.BlockStmt) {
 				}
 			case "ReleaseAll", "Begin":
 				maxTier = tierUnknown
+			}
+		default:
+			if mask := summaryOf(pass, call, acq); mask != 0 {
+				for tier := tierTree; tier <= tierPage; tier++ {
+					if mask&(1<<tier) != 0 {
+						acquire(call.Pos(), tier, " by the called helper")
+					}
+				}
 			}
 		}
 		return true

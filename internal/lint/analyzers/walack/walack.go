@@ -13,18 +13,25 @@
 // skips the log is exactly the bug this analyzer exists to catch: it
 // acknowledges state recovery cannot replay.
 //
-// The check is lexical per method: a `return nil` (in the error
-// position) is flagged unless a logging call appears earlier in the
-// method source (function literals included), or the return value is
-// itself a logging call. Returns of non-nil/unknown error expressions
-// are never flagged — they are failure paths or cannot be proven to
-// ack. BulkInsert is exempt by contract: it checkpoints instead of
-// logging.
+// The check is path-sensitive over the function's CFG: a `return nil`
+// (in the error position) is flagged if some path from the function
+// entry mutates receiver state and reaches the return without passing
+// a logging call. Paths that mutate nothing — empty-batch early
+// returns, the zero-iteration side of a fan-out loop — acknowledge
+// nothing, so they need no log. Spawning a function literal that logs
+// (the sharded batch path logs from its per-shard goroutines) counts
+// as logging at the spawn point, and closure-held receiver writes
+// count as mutations the same way. The logging-helper set is the
+// interprocedural summary "transitively reaches
+// wal.Append/AppendAsync", computed on the package call graph and
+// shared with errflow through the facts store. Returns of
+// non-nil/unknown error expressions are never flagged — they are
+// failure paths or cannot be proven to ack. BulkInsert is exempt by
+// contract: it checkpoints instead of logging.
 package walack
 
 import (
 	"go/ast"
-	"go/token"
 	"go/types"
 
 	"burtree/internal/lint/framework"
@@ -34,77 +41,144 @@ import (
 var Analyzer = &framework.Analyzer{
 	Name: "walack",
 	Doc: "exported mutation methods (Insert/Update/Delete/UpdateBatch) on WAL-carrying index types must reach " +
-		"wal.Append/AppendAsync (directly or via a logging helper) before acknowledging success, " +
+		"wal.Append/AppendAsync (directly or via a logging helper) on every path that acknowledges success, " +
 		"so no acked state is invisible to recovery",
 	Run: run,
 }
 
-// mutationMethods are the acking mutation surface of the front-ends.
-var mutationMethods = map[string]bool{
+// MutationMethods are the acking mutation surface of the front-ends,
+// shared with errflow (same surface, complementary invariant).
+var MutationMethods = map[string]bool{
 	"Insert": true, "Update": true, "Delete": true, "UpdateBatch": true,
 }
 
 func run(pass *framework.Pass) error {
-	carriers := walCarriers(pass.Pkg)
+	carriers := Carriers(pass)
 	if len(carriers) == 0 {
 		return nil
 	}
-	logging := loggingFuncs(pass)
-
-	for _, f := range pass.Files {
-		if pass.IsTestFile(f.Pos()) {
+	for _, fn := range pass.Prog.SortedFuncs() {
+		decl := fn.Decl
+		if decl.Recv == nil || decl.Body == nil || !MutationMethods[decl.Name.Name] {
 			continue
 		}
-		for _, decl := range f.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Recv == nil || fn.Body == nil || !mutationMethods[fn.Name.Name] {
-				continue
-			}
-			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
-			if !ok {
-				continue
-			}
-			recv := obj.Signature().Recv()
-			if recv == nil || !carriers[deref(recv.Type())] {
-				continue
-			}
-			checkMethod(pass, fn, logging)
+		if pass.IsTestFile(decl.Pos()) {
+			continue
 		}
+		recv := fn.Obj.Signature().Recv()
+		if recv == nil || !carriers[deref(recv.Type())] {
+			continue
+		}
+		checkMethod(pass, fn)
 	}
 	return nil
 }
 
-// checkMethod flags success returns not preceded by a logging call.
-func checkMethod(pass *framework.Pass, fn *ast.FuncDecl, logging map[*types.Func]bool) {
-	// Lexical positions of every call that reaches the WAL, including
-	// inside function literals (the sharded batch path logs from its
-	// per-shard goroutines).
-	var logPositions []token.Pos
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok && isLoggingCall(pass, call, logging) {
-			logPositions = append(logPositions, call.Pos())
-		}
-		return true
-	})
-	loggedBefore := func(pos token.Pos) bool {
-		for _, p := range logPositions {
-			if p < pos {
-				return true
+// Path states for the product dataflow: each path through the method
+// carries one of four states; a block holds the set of states paths
+// reach it in.
+const (
+	stMut      = 1 << 0 // a receiver write happened on this path
+	stUnlogged = 1 << 1 // no logging call has happened on this path
+	numStates  = 4
+)
+
+// checkMethod flags success returns some path reaches having mutated
+// receiver state without a logging call.
+func checkMethod(pass *framework.Pass, fn *framework.Func) {
+	cfg := pass.Prog.CFGOf(fn)
+	name := fn.Decl.Name.Name
+	recv := framework.ReceiverVar(pass.TypesInfo, fn.Decl)
+
+	logsAt := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if found {
+				return false
 			}
+			if call, ok := m.(*ast.CallExpr); ok && IsLoggingCall(pass, call) {
+				found = true
+			}
+			return true
+		})
+		return found
+	}
+	mutatesAt := func(n ast.Node) bool {
+		return recv != nil && framework.WritesThrough(pass.TypesInfo, n, recv, true)
+	}
+	// step applies one node's events to a path state.
+	step := func(state uint8, n ast.Node) uint8 {
+		if mutatesAt(n) {
+			state |= stMut
 		}
-		return false
+		if logsAt(n) {
+			state &^= stUnlogged
+		}
+		return state
+	}
+	// blockStep applies a whole block.
+	blockStep := func(states uint16, b *framework.Block) uint16 {
+		var out uint16
+		for s := uint8(0); s < numStates; s++ {
+			if states&(1<<s) == 0 {
+				continue
+			}
+			cur := s
+			for _, n := range b.Nodes {
+				cur = step(cur, n)
+			}
+			out |= 1 << cur
+		}
+		return out
 	}
 
-	ast.Inspect(fn.Body, func(n ast.Node) bool {
-		ret, ok := n.(*ast.ReturnStmt)
+	// Forward propagation of reachable path-state sets.
+	states := map[*framework.Block]uint16{cfg.Entry: 1 << stUnlogged}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range cfg.Blocks {
+			in, ok := states[b]
+			if !ok {
+				continue
+			}
+			out := blockStep(in, b)
+			for _, s := range b.Succs {
+				if merged := states[s] | out; merged != states[s] {
+					states[s] = merged
+					changed = true
+				}
+			}
+		}
+	}
+
+	for _, b := range cfg.Blocks {
+		ret, ok := b.Return()
 		if !ok || len(ret.Results) == 0 {
-			return true
+			continue
+		}
+		// State set at the return: entry states advanced through the
+		// block's earlier nodes.
+		bad := false
+		for s := uint8(0); s < numStates; s++ {
+			if states[b]&(1<<s) == 0 {
+				continue
+			}
+			cur := s
+			for _, n := range b.Nodes[:len(b.Nodes)-1] {
+				cur = step(cur, n)
+			}
+			if cur&stMut != 0 && cur&stUnlogged != 0 {
+				bad = true
+			}
+		}
+		if !bad {
+			continue
 		}
 		errExpr := ret.Results[len(ret.Results)-1]
 		switch e := errExpr.(type) {
 		case *ast.Ident:
-			if e.Name == "nil" && !loggedBefore(ret.Pos()) {
-				pass.Reportf(ret.Pos(), "%s acknowledges success without reaching the WAL: no wal.Append/AppendAsync (or logging helper) call precedes this return", fn.Name.Name)
+			if e.Name == "nil" {
+				pass.Reportf(ret.Pos(), "%s acknowledges success without reaching the WAL: a path mutates state and reaches this return with no wal.Append/AppendAsync (or logging helper) call", name)
 			}
 		case *ast.CallExpr:
 			// A returned call can be the ack itself (`return
@@ -112,135 +186,100 @@ func checkMethod(pass *framework.Pass, fn *ast.FuncDecl, logging map[*types.Func
 			// succeed (`return x.maybeMerge()`); the latter must come
 			// after the log call. Foreign constructors (fmt.Errorf,
 			// errors.New) only build failures and are never acks.
-			callee := calleeFunc(pass.TypesInfo, e)
+			callee := framework.StaticCallee(pass.TypesInfo, e)
 			samePkg := callee != nil && callee.Pkg() == pass.Pkg
-			if samePkg && !isLoggingCall(pass, e, logging) && !loggedBefore(ret.Pos()) {
-				pass.Reportf(ret.Pos(), "%s acknowledges success without reaching the WAL: the returned helper does not log and no logging call precedes it", fn.Name.Name)
-			}
-		}
-		return true
-	})
-}
-
-// walCarriers returns the package-level named types that carry a
-// *wal.Log (directly, or as a slice/array of per-shard logs).
-func walCarriers(pkg *types.Package) map[types.Type]bool {
-	out := map[types.Type]bool{}
-	if pkg == nil {
-		return out
-	}
-	scope := pkg.Scope()
-	for _, name := range scope.Names() {
-		tn, ok := scope.Lookup(name).(*types.TypeName)
-		if !ok || tn.IsAlias() {
-			continue
-		}
-		st, ok := tn.Type().Underlying().(*types.Struct)
-		if !ok {
-			continue
-		}
-		for i := 0; i < st.NumFields(); i++ {
-			ft := st.Field(i).Type()
-			switch t := ft.(type) {
-			case *types.Slice:
-				ft = t.Elem()
-			case *types.Array:
-				ft = t.Elem()
-			}
-			if isWALLog(ft) {
-				out[tn.Type()] = true
-				break
+			if samePkg && !IsLoggingCall(pass, e) {
+				pass.Reportf(ret.Pos(), "%s acknowledges success without reaching the WAL: the returned helper does not log and a mutating path reaches it with no logging call", name)
 			}
 		}
 	}
-	return out
 }
 
-// loggingFuncs computes the same-package functions that (transitively)
-// call Append/AppendAsync on a *wal.Log.
-func loggingFuncs(pass *framework.Pass) map[*types.Func]bool {
-	logging := map[*types.Func]bool{}
-	// calls[f] lists the same-package functions f calls.
-	calls := map[*types.Func][]*types.Func{}
-
-	for _, file := range pass.Files {
-		for _, decl := range file.Decls {
-			fn, ok := decl.(*ast.FuncDecl)
-			if !ok || fn.Body == nil {
+// Carriers returns the package-level named types that carry a
+// *wal.Log (directly, or as a slice/array of per-shard logs). Cached
+// in the facts store and shared with errflow.
+func Carriers(pass *framework.Pass) map[types.Type]bool {
+	return pass.Prog.FactOnce("walack.carriers", func() any {
+		out := map[types.Type]bool{}
+		pkg := pass.Pkg
+		if pkg == nil {
+			return out
+		}
+		scope := pkg.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
 				continue
 			}
-			obj, ok := pass.TypesInfo.Defs[fn.Name].(*types.Func)
+			st, ok := tn.Type().Underlying().(*types.Struct)
 			if !ok {
 				continue
 			}
-			ast.Inspect(fn.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
+			for i := 0; i < st.NumFields(); i++ {
+				ft := st.Field(i).Type()
+				switch t := ft.(type) {
+				case *types.Slice:
+					ft = t.Elem()
+				case *types.Array:
+					ft = t.Elem()
 				}
-				if isDirectWALAppend(pass.TypesInfo, call) {
-					logging[obj] = true
-					return true
-				}
-				if callee := calleeFunc(pass.TypesInfo, call); callee != nil && callee.Pkg() == pass.Pkg {
-					calls[obj] = append(calls[obj], callee)
-				}
-				return true
-			})
-		}
-	}
-	// Fixed point: a function that calls a logging function logs.
-	for changed := true; changed; {
-		changed = false
-		for fn, callees := range calls {
-			if logging[fn] {
-				continue
-			}
-			for _, c := range callees {
-				if logging[c] {
-					logging[fn] = true
-					changed = true
+				if isWALLog(ft) {
+					out[tn.Type()] = true
 					break
 				}
 			}
 		}
-	}
-	return logging
+		return out
+	}).(map[types.Type]bool)
 }
 
-// isLoggingCall reports whether the call reaches the WAL: a direct
-// Append/AppendAsync on a *wal.Log, or a call to a known logging
-// function.
-func isLoggingCall(pass *framework.Pass, call *ast.CallExpr, logging map[*types.Func]bool) bool {
-	if isDirectWALAppend(pass.TypesInfo, call) {
+// Logging returns the summary "transitively calls Append/AppendAsync
+// on a *wal.Log", computed over the package call graph. Cached in the
+// facts store and shared with errflow.
+func Logging(pass *framework.Pass) map[*framework.Func]bool {
+	return pass.Prog.FactOnce("walack.logging", func() any {
+		return pass.Prog.Transitive(func(fn *framework.Func) bool {
+			if fn.Decl.Body == nil {
+				return false
+			}
+			direct := false
+			ast.Inspect(fn.Decl.Body, func(n ast.Node) bool {
+				if direct {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok && IsDirectWALAppend(pass.TypesInfo, call) {
+					direct = true
+				}
+				return true
+			})
+			return direct
+		})
+	}).(map[*framework.Func]bool)
+}
+
+// IsLoggingCall reports whether the call reaches the WAL: a direct
+// Append/AppendAsync on a *wal.Log, or a call to a function whose
+// summary says it transitively logs.
+func IsLoggingCall(pass *framework.Pass, call *ast.CallExpr) bool {
+	if IsDirectWALAppend(pass.TypesInfo, call) {
 		return true
 	}
-	callee := calleeFunc(pass.TypesInfo, call)
-	return callee != nil && logging[callee]
+	callee := framework.StaticCallee(pass.TypesInfo, call)
+	if callee == nil {
+		return false
+	}
+	fn := pass.Prog.FuncOf(callee)
+	return fn != nil && Logging(pass)[fn]
 }
 
-// isDirectWALAppend matches l.Append(...) / l.AppendAsync(...) where l
+// IsDirectWALAppend matches l.Append(...) / l.AppendAsync(...) where l
 // is a *wal.Log.
-func isDirectWALAppend(info *types.Info, call *ast.CallExpr) bool {
+func IsDirectWALAppend(info *types.Info, call *ast.CallExpr) bool {
 	recv, name, ok := framework.ReceiverOf(info, call)
 	if !ok || (name != "Append" && name != "AppendAsync") {
 		return false
 	}
 	return isWALLog(recv)
-}
-
-// calleeFunc resolves the called function or method, if statically
-// known.
-func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
-	switch fun := call.Fun.(type) {
-	case *ast.Ident:
-		f, _ := info.Uses[fun].(*types.Func)
-		return f
-	case *ast.SelectorExpr:
-		f, _ := info.Uses[fun.Sel].(*types.Func)
-		return f
-	}
-	return nil
 }
 
 // isWALLog reports whether t is wal.Log (possibly behind a pointer)

@@ -1,0 +1,256 @@
+package framework
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheck parses and type-checks one source file, returning what
+// NewProgram needs.
+func typecheck(t *testing.T, src string) (*token.FileSet, []*ast.File, *types.Package, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: importer.Default()}
+	pkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("typecheck: %v", err)
+	}
+	return fset, []*ast.File{f}, pkg, info
+}
+
+func funcDecl(files []*ast.File, name string) *ast.FuncDecl {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+func TestCFGShapes(t *testing.T) {
+	_, files, _, _ := typecheck(t, `package p
+
+import "errors"
+
+func branches(n int) (int, error) {
+	total := 0
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			continue
+		}
+		total += i
+		if total > 100 {
+			break
+		}
+	}
+	switch {
+	case n < 0:
+		return 0, errors.New("negative")
+	case n == 0:
+		goto done
+	}
+	total++
+done:
+	return total, nil
+}
+`)
+	cfg := NewCFG(funcDecl(files, "branches").Body)
+	if cfg.Entry == nil || cfg.Exit == nil || len(cfg.Blocks) < 6 {
+		t.Fatalf("implausible CFG: %d blocks", len(cfg.Blocks))
+	}
+	// Every reachable block's successors must be in the block list, and
+	// the exit must be reachable from the entry.
+	index := make(map[*Block]bool)
+	for _, b := range cfg.Blocks {
+		index[b] = true
+	}
+	seen := make(map[*Block]bool)
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			if !index[s] {
+				t.Fatalf("block %d has successor outside Blocks", b.Index)
+			}
+			walk(s)
+		}
+	}
+	walk(cfg.Entry)
+	if !seen[cfg.Exit] {
+		t.Fatal("exit unreachable from entry")
+	}
+}
+
+func TestCFGMustFail(t *testing.T) {
+	_, files, _, _ := typecheck(t, `package p
+
+import "fmt"
+
+func f(xs []int) (int, error) {
+	sum := 0
+	for _, x := range xs {
+		if x < 0 {
+			return 0, fmt.Errorf("negative %d", x)
+		}
+		if x == 0 {
+			sum--
+			continue
+		}
+		sum += x
+	}
+	if sum > 1000 {
+		panic("overflow")
+	}
+	return sum, nil
+}
+`)
+	cfg := NewCFG(funcDecl(files, "f").Body)
+
+	failing, ok := 0, 0
+	for _, b := range cfg.Blocks {
+		if r, has := b.Return(); has {
+			if cfg.MustFail(b) {
+				failing++
+				if !returnsNonNil(r) {
+					t.Errorf("block %d must-fails but returns nil", b.Index)
+				}
+			} else {
+				ok++
+			}
+		}
+	}
+	if failing != 1 {
+		t.Errorf("want exactly 1 failing return block, got %d", failing)
+	}
+	if ok != 1 {
+		t.Errorf("want exactly 1 succeeding return block, got %d", ok)
+	}
+	// The panic block must-fails even though it is not a return.
+	found := false
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			if isPanicNode(n) && cfg.MustFail(b) {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("panic block not recognized as must-fail")
+	}
+}
+
+func TestProgramCallGraph(t *testing.T) {
+	fset, files, pkg, info := typecheck(t, `package p
+
+type applier interface{ apply(int) int }
+
+type double struct{}
+
+func (double) apply(x int) int { return 2 * x }
+
+type negate struct{}
+
+func (*negate) apply(x int) int { return helper(-x) }
+
+func helper(x int) int { return x }
+
+func root(a applier, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += a.apply(x)
+	}
+	return total
+}
+
+func unrelated() {}
+`)
+	prog := NewProgram(fset, files, pkg, info)
+	if len(prog.Funcs) != 5 {
+		t.Fatalf("want 5 funcs, got %d", len(prog.Funcs))
+	}
+	var root *Func
+	for _, fn := range prog.Funcs {
+		if fn.Obj.Name() == "root" {
+			root = fn
+		}
+	}
+	if root == nil {
+		t.Fatal("root not indexed")
+	}
+
+	// The interface call in root must devirtualize to both local
+	// implementations, making helper reachable through *negate.
+	reach := prog.Reachable([]*Func{root})
+	names := make(map[string]bool)
+	for fn := range reach {
+		names[fn.Obj.Name()] = true
+	}
+	for _, want := range []string{"root", "apply", "helper"} {
+		if !names[want] {
+			t.Errorf("%s not reachable from root; reachable: %v", want, names)
+		}
+	}
+	if names["unrelated"] {
+		t.Error("unrelated spuriously reachable")
+	}
+
+	// Transitive: "calls helper" holds for negate.apply and root (via
+	// devirtualization), not for double.apply or unrelated.
+	callsHelper := prog.Transitive(func(fn *Func) bool { return fn.Obj.Name() == "helper" })
+	byName := func(name string, recvPtr bool) *Func {
+		for _, fn := range prog.Funcs {
+			if fn.Obj.Name() != name {
+				continue
+			}
+			recv := fn.Obj.Signature().Recv()
+			if (recv != nil && types.IsInterface(recv.Type())) != false {
+				continue
+			}
+			if name == "apply" {
+				_, isPtr := recv.Type().(*types.Pointer)
+				if isPtr != recvPtr {
+					continue
+				}
+			}
+			return fn
+		}
+		return nil
+	}
+	if fn := byName("apply", true); fn == nil || !callsHelper[fn] {
+		t.Error("(*negate).apply should transitively call helper")
+	}
+	if fn := byName("apply", false); fn != nil && callsHelper[fn] {
+		t.Error("double.apply should not transitively call helper")
+	}
+	if !callsHelper[root] {
+		t.Error("root should transitively call helper via devirtualized apply")
+	}
+
+	// Facts: computed once, shared.
+	calls := 0
+	get := func() any {
+		return prog.FactOnce("k", func() any { calls++; return 42 })
+	}
+	if get() != 42 || get() != 42 || calls != 1 {
+		t.Errorf("FactOnce recomputed: calls=%d", calls)
+	}
+}

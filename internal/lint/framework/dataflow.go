@@ -1,0 +1,76 @@
+package framework
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RootObject resolves the base object of a selector/index/deref chain
+// (x.objects[id] → x's object), nil for expressions that are not
+// rooted in a single identifier.
+func RootObject(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			if obj := info.Uses[v]; obj != nil {
+				return obj
+			}
+			return info.Defs[v]
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.ParenExpr:
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// WritesThrough reports whether node n assigns, deletes, or
+// increments through root — a state write on the object. With
+// intoFuncLits, writes arranged inside nested function literals count
+// at the node (the spawn/build point), matching how the logging
+// analyses attribute closures.
+func WritesThrough(info *types.Info, n ast.Node, root types.Object, intoFuncLits bool) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			return intoFuncLits
+		case *ast.AssignStmt:
+			for _, lhs := range m.Lhs {
+				if RootObject(info, lhs) == root {
+					found = true
+				}
+			}
+		case *ast.IncDecStmt:
+			if RootObject(info, m.X) == root {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(m.Fun).(*ast.Ident); ok && id.Name == "delete" && len(m.Args) > 0 {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && RootObject(info, m.Args[0]) == root {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// ReceiverVar returns the declared receiver variable of a method, nil
+// for functions and unnamed receivers.
+func ReceiverVar(info *types.Info, decl *ast.FuncDecl) types.Object {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 || len(decl.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[decl.Recv.List[0].Names[0]]
+}

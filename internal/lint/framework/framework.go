@@ -53,6 +53,11 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Prog is the package's interprocedural view — functions, CFGs,
+	// call graph, shared facts — built once per RunAnalyzers invocation
+	// and shared by every analyzer in the suite.
+	Prog *Program
+
 	report func(Diagnostic)
 }
 
@@ -79,7 +84,8 @@ const IgnorePrefix = "//burlint:ignore"
 type Directive struct {
 	Pos      token.Pos
 	Line     int    // line the comment is on
-	Target   int    // line the suppression covers
+	Target   int    // line the suppression covers (0 for file-scope)
+	File     bool   // directive precedes the package clause: whole file
 	Analyzer string // first word after the prefix ("" if missing)
 	Reason   string // rest of the comment ("" if missing)
 }
@@ -88,7 +94,10 @@ type Directive struct {
 // directive (code earlier on its line) covers its own line; a
 // directive standing alone on a line covers the next one — each form
 // covers exactly one line, so a suppression can never silently widen
-// to a neighbor.
+// to a neighbor. A directive above the package clause is file-scope:
+// it suppresses the named analyzer for the whole file (the
+// ignoredirective analyzer rejects this form for analyzers that
+// demand per-statement audits, e.g. hotpath).
 func Directives(fset *token.FileSet, f *ast.File) []Directive {
 	var out []Directive
 	for _, cg := range f.Comments {
@@ -101,9 +110,12 @@ func Directives(fset *token.FileSet, f *ast.File) []Directive {
 				continue // e.g. //burlint:ignoreXXX — not a directive
 			}
 			d := Directive{Pos: c.Pos(), Line: fset.Position(c.Pos()).Line}
-			if hasCodeBefore(fset, f, c) {
+			switch {
+			case c.Pos() < f.Package:
+				d.File = true
+			case hasCodeBefore(fset, f, c):
 				d.Target = d.Line
-			} else {
+			default:
 				d.Target = d.Line + 1
 			}
 			fields := strings.Fields(rest)
@@ -149,15 +161,26 @@ type ignoreKey struct {
 // applied here so every driver gets identical semantics.
 func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
 	ignores := make(map[ignoreKey][]Directive)
+	fileIgnores := make(map[string]map[string]bool)
 	for _, f := range files {
 		name := fset.File(f.Pos()).Name()
 		for _, d := range Directives(fset, f) {
+			if d.File {
+				if fileIgnores[name] == nil {
+					fileIgnores[name] = make(map[string]bool)
+				}
+				fileIgnores[name][d.Analyzer] = true
+				continue
+			}
 			k := ignoreKey{file: name, line: d.Target}
 			ignores[k] = append(ignores[k], d)
 		}
 	}
 	suppressed := func(d Diagnostic) bool {
 		posn := fset.Position(d.Pos)
+		if fileIgnores[posn.Filename][d.Analyzer] {
+			return true
+		}
 		for _, dir := range ignores[ignoreKey{file: posn.Filename, line: posn.Line}] {
 			if dir.Analyzer == d.Analyzer {
 				return true
@@ -166,6 +189,7 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 		return false
 	}
 
+	prog := NewProgram(fset, files, pkg, info)
 	var out []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -174,6 +198,7 @@ func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, in
 			Files:     files,
 			Pkg:       pkg,
 			TypesInfo: info,
+			Prog:      prog,
 			report: func(d Diagnostic) {
 				if !suppressed(d) {
 					out = append(out, d)

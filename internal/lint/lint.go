@@ -16,19 +16,25 @@ package lint
 import (
 	"burtree/internal/lint/analyzers/atomicwrite"
 	"burtree/internal/lint/analyzers/closecheck"
+	"burtree/internal/lint/analyzers/errflow"
+	"burtree/internal/lint/analyzers/goroutinelife"
 	"burtree/internal/lint/analyzers/granulecopy"
+	"burtree/internal/lint/analyzers/hotpath"
 	"burtree/internal/lint/analyzers/ignoredirective"
 	"burtree/internal/lint/analyzers/lockorder"
 	"burtree/internal/lint/analyzers/walack"
 	"burtree/internal/lint/framework"
 )
 
-// invariant is the five invariant analyzers, without the directive
+// invariant is the eight invariant analyzers, without the directive
 // validator.
 var invariant = []*framework.Analyzer{
 	atomicwrite.Analyzer,
 	closecheck.Analyzer,
+	errflow.Analyzer,
+	goroutinelife.Analyzer,
 	granulecopy.Analyzer,
+	hotpath.Analyzer,
 	lockorder.Analyzer,
 	walack.Analyzer,
 }

@@ -41,6 +41,12 @@ type listedPkg struct {
 	DepOnly    bool
 	Standard   bool
 	Incomplete bool
+	Error      *listedError
+}
+
+// listedError is go list's per-package load error.
+type listedError struct {
+	Err string
 }
 
 // goList runs `go list -deps -export -json` over the patterns in dir
@@ -48,7 +54,7 @@ type listedPkg struct {
 func goList(dir string, patterns []string) ([]listedPkg, error) {
 	args := append([]string{
 		"list", "-deps", "-export",
-		"-json=ImportPath,Dir,Name,GoFiles,Export,DepOnly,Standard,Incomplete",
+		"-json=ImportPath,Dir,Name,GoFiles,Export,DepOnly,Standard,Incomplete,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -132,8 +138,20 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 	imp := exportImporter(fset, exports)
 	var out []*Package
 	for _, p := range listed {
-		if p.DepOnly || len(p.GoFiles) == 0 {
+		if p.DepOnly {
 			continue
+		}
+		// A matched package that failed to load must fail the run — a
+		// lint pass that silently skips a broken package reports "clean"
+		// for code it never saw.
+		if p.Error != nil {
+			return nil, fmt.Errorf("loading %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Incomplete {
+			return nil, fmt.Errorf("loading %s: package is incomplete (see go list -e output)", p.ImportPath)
+		}
+		if len(p.GoFiles) == 0 {
+			continue // e.g. a test-only directory: nothing to analyze
 		}
 		var files []*ast.File
 		for _, name := range p.GoFiles {
@@ -148,6 +166,9 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 			return nil, fmt.Errorf("type-checking %s: %w", p.ImportPath, err)
 		}
 		out = append(out, &Package{Path: p.ImportPath, Fset: fset, Files: files, Types: tpkg, Info: info})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("go list %v: matched no analyzable packages", patterns)
 	}
 	return out, nil
 }

@@ -1,0 +1,8 @@
+// Package broken fails to type-check on purpose: the loader tests
+// assert the error surfaces instead of the package being analyzed
+// partially (or skipped as "clean").
+package broken
+
+func typeError() int {
+	return "not an int"
+}

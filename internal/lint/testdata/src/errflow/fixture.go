@@ -1,0 +1,145 @@
+// Package errflow exercises the errflow analyzer: an error produced
+// after receiver mutation must reach a rollback on every pre-ack
+// failure path.
+package errflow
+
+import "wal"
+
+// tree stands in for the R-tree: a fallible structure the front-ends
+// apply mutations to.
+type tree struct{}
+
+func (t *tree) Apply(id uint64) error { return nil }
+
+// Index is the PR 8 shape: object table + WAL.
+type Index struct {
+	log     *wal.Log
+	objects map[uint64]uint64
+}
+
+func (x *Index) logAppend(typ wal.Type, ops []wal.Op) error {
+	if x.log == nil {
+		return nil
+	}
+	return x.log.Append(typ, ops)
+}
+
+// Insert is PR 8's bug verbatim: the object table keeps the move when
+// the WAL append fails, so the in-memory index diverges from what
+// recovery replays.
+func (x *Index) Insert(id uint64) error {
+	x.objects[id] = id
+	if err := x.log.Append(wal.TypeInsert, nil); err != nil { // want `Insert mutates receiver state before Append but the failure path returns without a rollback`
+		return err
+	}
+	return nil
+}
+
+// Update hands the helper's error straight to the caller: there is no
+// failure branch to roll back in.
+func (x *Index) Update(id uint64) error {
+	prev := x.objects[id]
+	x.objects[id] = prev + 1
+	return x.logAppend(wal.TypeUpdate, nil) // want `Update returns the error of logAppend directly after mutating receiver state`
+}
+
+// Delete drops the append error on the floor after mutating.
+func (x *Index) Delete(id uint64) error {
+	delete(x.objects, id)
+	x.log.Append(wal.TypeDelete, nil) // want `Delete discards the error of Append after mutating receiver state`
+	return nil
+}
+
+// UpdateBatch is the PR 8 fix shape: the failure branch restores the
+// previous value before propagating. Not flagged.
+func (x *Index) UpdateBatch(ids []uint64) error {
+	for _, id := range ids {
+		prev, had := x.objects[id]
+		x.objects[id] = prev + 1
+		if err := x.log.Append(wal.TypeUpdate, nil); err != nil {
+			if had {
+				x.objects[id] = prev
+			} else {
+				delete(x.objects, id)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Logged is a second carrier exercising ack ordering and the
+// compare-and-restore shape on structure applies.
+type Logged struct {
+	log     *wal.Log
+	tree    *tree
+	objects map[uint64]uint64
+}
+
+// Insert restores the previous value when the tree apply fails: PR 2's
+// compare-and-restore shape. Not flagged.
+func (l *Logged) Insert(id uint64) error {
+	prev, had := l.objects[id]
+	l.objects[id] = id
+	if err := l.tree.Apply(id); err != nil {
+		if had {
+			l.objects[id] = prev
+		} else {
+			delete(l.objects, id)
+		}
+		return err
+	}
+	return nil
+}
+
+// Delete loses the table entry even when the tree apply fails.
+func (l *Logged) Delete(id uint64) error {
+	delete(l.objects, id)
+	if err := l.tree.Apply(id); err != nil { // want `Delete mutates receiver state before Apply but the failure path returns without a rollback`
+		return err
+	}
+	return nil
+}
+
+// Update logs before mutating: the merge failure is post-ack — the op
+// is already durable, so no rollback is owed. Not flagged.
+func (l *Logged) Update(id uint64) error {
+	if err := l.log.Append(wal.TypeUpdate, nil); err != nil {
+		return err
+	}
+	l.objects[id] = id
+	return l.merge()
+}
+
+func (l *Logged) merge() error {
+	l.objects = map[uint64]uint64{}
+	return nil
+}
+
+// UpdateBatch delegates to absorb, which both mutates and logs: the
+// helper inherits the contract interprocedurally.
+func (l *Logged) UpdateBatch(ids []uint64) error {
+	return l.absorb(ids)
+}
+
+func (l *Logged) absorb(ids []uint64) error {
+	for _, id := range ids {
+		l.objects[id] = id
+	}
+	if err := l.log.Append(wal.TypeUpdate, nil); err != nil { // want `absorb mutates receiver state before Append but the failure path returns without a rollback`
+		return err
+	}
+	return nil
+}
+
+// Plain carries no WAL: out of scope even though it mutates and can
+// fail. Not flagged.
+type Plain struct {
+	t *tree
+	n map[uint64]uint64
+}
+
+func (p *Plain) Insert(id uint64) error {
+	p.n[id] = id
+	return p.t.Apply(id)
+}

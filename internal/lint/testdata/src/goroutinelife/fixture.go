@@ -1,0 +1,124 @@
+// Package goroutinelife exercises the goroutinelife analyzer: spawned
+// goroutines must be stoppable and joined by an owner.
+package goroutinelife
+
+import "sync"
+
+// Rebalancer is the shard-rebalancer shape: the loop selects on a stop
+// channel, Stop closes it and Waits on the WaitGroup the loop marks
+// Done. Not flagged.
+type Rebalancer struct {
+	stop chan struct{}
+	work chan int
+	wg   sync.WaitGroup
+}
+
+func (r *Rebalancer) Start() {
+	r.wg.Add(1)
+	go r.loop()
+}
+
+func (r *Rebalancer) loop() {
+	defer r.wg.Done()
+	for {
+		select {
+		case <-r.stop:
+			return
+		case n := <-r.work:
+			_ = n
+		}
+	}
+}
+
+func (r *Rebalancer) Stop() {
+	close(r.stop)
+	r.wg.Wait()
+}
+
+// Leaky is the rebalance loop before it grew a stop channel: the loop
+// has no way out and nothing joins it, so Close-ing the owner leaves
+// the goroutine running against freed state.
+type Leaky struct {
+	work chan int
+}
+
+func (l *Leaky) Start() {
+	go func() { // want `goroutine is never joined`
+		for { // want `goroutine loops forever with no way out`
+			n := <-l.work
+			_ = n
+		}
+	}()
+}
+
+// Flusher drains a channel the owner closes; the loop therefore
+// terminates, but only the joined variant ties the exit back to the
+// owner.
+type Flusher struct {
+	ch   chan int
+	done chan struct{}
+}
+
+// StartOrphan's goroutine stops when ch closes, but nothing observes
+// its exit: Close returns while the last flush may still run.
+func (f *Flusher) StartOrphan() {
+	go func() { // want `goroutine is never joined`
+		for n := range f.ch {
+			_ = n
+		}
+	}()
+}
+
+// StartJoined signals completion by closing done, which Close receives.
+// Not flagged.
+func (f *Flusher) StartJoined() {
+	go func() {
+		for n := range f.ch {
+			_ = n
+		}
+		close(f.done)
+	}()
+}
+
+func (f *Flusher) Close() {
+	close(f.ch)
+	<-f.done
+}
+
+// Scatter joins its workers before returning: the batch fan-out shape.
+// Not flagged.
+func Scatter(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// worker marks Done through a parameter; the analyzer translates it
+// back to the owner's field at the spawn site.
+func worker(wg *sync.WaitGroup, ch chan int) {
+	defer wg.Done()
+	for range ch {
+	}
+}
+
+// Pool spawns worker with its own WaitGroup and joins it in Drain.
+// Not flagged.
+type Pool struct {
+	wg sync.WaitGroup
+	ch chan int
+}
+
+func (p *Pool) Start() {
+	p.wg.Add(1)
+	go worker(&p.wg, p.ch)
+}
+
+func (p *Pool) Drain() {
+	close(p.ch)
+	p.wg.Wait()
+}

@@ -69,3 +69,50 @@ func afterUnlock(m *dgl.Manager, txn *dgl.Txn, latch *sync.Mutex) {
 	latch.Unlock()
 	_ = m.Acquire(txn, treeGranule, dgl.X, 0)
 }
+
+// lockCells is a same-package helper: its interprocedural summary
+// carries the cell tier to every call site.
+func lockCells(m *dgl.Manager, txn *dgl.Txn, cells []dgl.GranuleID) {
+	for _, cell := range cells {
+		_ = m.Acquire(txn, cell, dgl.X, 0)
+	}
+}
+
+// helperInversion holds a page granule, then calls the cell-acquiring
+// helper: the inversion is caught at the call site via the summary.
+func helperInversion(m *dgl.Manager, txn *dgl.Txn, cells []dgl.GranuleID) {
+	_ = m.Acquire(txn, pageGranule(2), dgl.X, 0)
+	lockCells(m, txn, cells) // want `cell granule acquired by the called helper after a page granule`
+}
+
+// helperUnderLatch waits for granules inside a helper while holding
+// the exclusive latch: the same deadlock, one frame removed.
+func helperUnderLatch(m *dgl.Manager, txn *dgl.Txn, cells []dgl.GranuleID, latch *sync.Mutex) {
+	latch.Lock()
+	lockCells(m, txn, cells) // want `granule lock acquired by the called helper while holding the exclusive latch`
+	latch.Unlock()
+}
+
+// helperCanonical calls the helper in protocol order. Not flagged.
+func helperCanonical(m *dgl.Manager, txn *dgl.Txn, cells []dgl.GranuleID) {
+	_ = m.Acquire(txn, treeGranule, dgl.IX, 0)
+	lockCells(m, txn, cells)
+	_ = m.Acquire(txn, pageGranule(9), dgl.X, 0)
+}
+
+// engine holds the manager; its methods participate through the same
+// summary machinery as plain helpers.
+type engine struct {
+	m *dgl.Manager
+}
+
+func (e *engine) lockTree(txn *dgl.Txn) {
+	_ = e.m.Acquire(txn, treeGranule, dgl.IX, 0)
+}
+
+// methodInversion re-locks the tree through a method while holding
+// cell granules: the PR 2 shape hidden behind a call.
+func methodInversion(e *engine, txn *dgl.Txn, cells []dgl.GranuleID) {
+	_ = e.m.Acquire(txn, cells[0], dgl.X, 0)
+	e.lockTree(txn) // want `tree granule acquired by the called helper after a cell granule`
+}

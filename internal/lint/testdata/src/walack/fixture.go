@@ -53,11 +53,32 @@ func (x *Index) Delete(id uint64) error {
 	return x.logAppend(wal.TypeDelete, nil)
 }
 
-// UpdateBatch tails into a same-package helper that never logs.
+// UpdateBatch mutates inside its loop, then tails into a same-package
+// helper that never logs.
 func (x *Index) UpdateBatch(ids []uint64) error {
-	for range ids {
+	for _, id := range ids {
+		x.objects[id] = struct{}{}
 	}
 	return x.rebalance() // want `UpdateBatch acknowledges success without reaching the WAL`
+}
+
+// Batched is a second carrier whose UpdateBatch logs each mutation
+// in-loop: the final `return nil` is reached either with zero
+// iterations (nothing mutated, nothing to log) or after mutate+log
+// pairs. The mutation gate keeps both exempt. Not flagged.
+type Batched struct {
+	log     *wal.Log
+	objects map[uint64]struct{}
+}
+
+func (b *Batched) UpdateBatch(ids []uint64) error {
+	for _, id := range ids {
+		b.objects[id] = struct{}{}
+		if err := b.log.Append(wal.TypeUpdate, nil); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Sharded logs per shard from inside goroutine closures, like the

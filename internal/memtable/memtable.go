@@ -131,6 +131,8 @@ func (t *Table) touch() {
 
 // Insert absorbs the insertion of a fresh object at p. The caller has
 // already established that no live object with this id exists.
+//
+//burlint:hotpath
 func (t *Table) Insert(id uint64, p geom.Point) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -149,6 +151,8 @@ func (t *Table) Insert(id uint64, p geom.Point) {
 // Update absorbs a move of a live object to p; cur is the object's
 // current position from the caller's object table (the tree's position
 // when no delta is buffered).
+//
+//burlint:hotpath
 func (t *Table) Update(id uint64, p, cur geom.Point) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -167,6 +171,8 @@ func (t *Table) Update(id uint64, p, cur geom.Point) {
 // position, as for Update. Deltas for objects the tree never saw
 // cancel outright; tree-resident objects leave a tombstone for the
 // merge to delete.
+//
+//burlint:hotpath
 func (t *Table) Delete(id uint64, cur geom.Point) {
 	t.mu.Lock()
 	defer t.mu.Unlock()

@@ -156,6 +156,11 @@ type groupCommit struct {
 	syncedTo int64
 	syncing  bool
 	err      error // sticky: a failed fsync poisons the log
+
+	// leaderWG joins the background leader goroutine: Close waits for it
+	// (after releasing l.mu, which the leader's exit check needs) so the
+	// log never outlives its owner with a sync loop still running.
+	leaderWG sync.WaitGroup
 }
 
 // Open creates or re-opens the log in dir for appending. Existing
@@ -553,8 +558,10 @@ func (l *Log) kickSync() {
 		return
 	}
 	g.syncing = true
+	g.leaderWG.Add(1)
 	g.mu.Unlock()
 	go func() {
+		defer g.leaderWG.Done()
 		for {
 			l.syncRound()
 			// Exit check with both locks nested (l.mu before gc.mu, the
@@ -654,8 +661,8 @@ func (l *Log) TruncateThrough(seq uint64) error {
 // on the close having synced successfully).
 func (l *Log) Close() error {
 	l.mu.Lock()
-	defer l.mu.Unlock()
 	if l.closed {
+		l.mu.Unlock()
 		return nil
 	}
 	l.closed = true
@@ -665,6 +672,12 @@ func (l *Log) Close() error {
 	// failed close-time sync has already poisoned the state it checks.
 	serr := l.finishSync(l.appended, l.f.Sync())
 	cerr := l.f.Close()
+	l.mu.Unlock()
+	// Join the group-commit leader outside l.mu (its exit check takes
+	// that lock): it sees l.closed on its next round and terminates, and
+	// waiting here keeps the loop from touching the log after Close
+	// returns.
+	l.gc.leaderWG.Wait()
 	if serr != nil {
 		return fmt.Errorf("wal: close: %w", serr)
 	}

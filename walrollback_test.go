@@ -1,0 +1,219 @@
+package burtree
+
+import (
+	"errors"
+	"testing"
+
+	"burtree/internal/wal"
+)
+
+// This file pins the single-index and concurrent-index analogues of the
+// sharded WAL-failure rollbacks (shardedbugfix_test.go): an operation
+// whose durable append fails must leave no acked-but-unlogged state in
+// the tree, the object table or the memtable delta tier — recovery
+// would silently disagree with what the index still serves. The gaps
+// were found by the errflow analyzer (internal/lint/analyzers/errflow)
+// and fixed together with its introduction.
+
+// rollbackIndex is the surface the rollback tests need from both
+// front-ends.
+type rollbackIndex interface {
+	Insert(id uint64, p Point) error
+	Update(id uint64, p Point) error
+	UpdateBatch(changes []Change) (BatchResult, error)
+	Delete(id uint64) error
+	Len() int
+	Location(id uint64) (Point, bool)
+	SearchFunc(q Rect, visit func(uint64, Point) bool) error
+	Close() error
+}
+
+// rollbackFlavors enumerates the four code paths with distinct
+// rollback logic: each front-end with the tree path and with the
+// memtable delta tier absorbing writes.
+var rollbackFlavors = []struct {
+	name     string
+	memtable bool
+	open     func(t *testing.T, opts Options) rollbackIndex
+}{
+	{"Index", false, openIndexT},
+	{"IndexMemtable", true, openIndexT},
+	{"ConcurrentIndex", false, openConcurrentT},
+	{"ConcurrentIndexMemtable", true, openConcurrentT},
+}
+
+func openIndexT(t *testing.T, opts Options) rollbackIndex {
+	t.Helper()
+	x, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+func openConcurrentT(t *testing.T, opts Options) rollbackIndex {
+	t.Helper()
+	x, err := OpenConcurrent(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// failIndexWAL force-closes the index's write-ahead log so the next
+// append fails with wal.ErrClosed while the tree keeps working — the
+// same observable state as a full log device.
+func failIndexWAL(t *testing.T, idx rollbackIndex) {
+	t.Helper()
+	var log *wal.Log
+	switch v := idx.(type) {
+	case *Index:
+		log = v.wal
+	case *ConcurrentIndex:
+		log = v.wal
+	default:
+		t.Fatalf("unknown index type %T", idx)
+	}
+	if log == nil {
+		t.Fatal("index is not durable")
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// expectIndexObjects asserts the queryable state: exactly the given
+// objects, each findable at its position by Location and search.
+func expectIndexObjects(t *testing.T, idx rollbackIndex, want map[uint64]Point) {
+	t.Helper()
+	if got := idx.Len(); got != len(want) {
+		t.Fatalf("Len() = %d, want %d", got, len(want))
+	}
+	got := objectsOf(t, idx)
+	if len(got) != len(want) {
+		t.Fatalf("search found %d objects, want %d: %v", len(got), len(want), got)
+	}
+	for id, p := range want {
+		if gp, ok := got[id]; !ok || gp != p {
+			t.Fatalf("object %d: search sees %v (present %v), want %v", id, gp, ok, p)
+		}
+		if lp, ok := idx.Location(id); !ok || lp != p {
+			t.Fatalf("object %d: Location sees %v (present %v), want %v", id, lp, ok, p)
+		}
+	}
+}
+
+func rollbackOpts(t *testing.T, memtable bool) Options {
+	opts := durableOpts(t.TempDir(), DurabilityBatch)
+	if memtable {
+		opts.Memtable = Memtable{Enabled: true}
+	}
+	return opts
+}
+
+// expectWALClosed asserts the operation surfaced the append failure.
+func expectWALClosed(t *testing.T, op string, err error) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("%s with failed WAL returned nil", op)
+	}
+	if !errors.Is(err, wal.ErrClosed) {
+		t.Fatalf("%s error %v does not wrap wal.ErrClosed", op, err)
+	}
+}
+
+// TestIndexWALFailureRollsBackInsert checks that an insert whose
+// durable append fails is fully undone in every front-end flavor.
+func TestIndexWALFailureRollsBackInsert(t *testing.T) {
+	for _, f := range rollbackFlavors {
+		t.Run(f.name, func(t *testing.T) {
+			x := f.open(t, rollbackOpts(t, f.memtable))
+			defer x.Close() // double-closes the failed log; the state checks are the test
+
+			keep := Point{X: 0.2, Y: 0.2}
+			if err := x.Insert(1, keep); err != nil {
+				t.Fatal(err)
+			}
+			failIndexWAL(t, x)
+
+			expectWALClosed(t, "insert", x.Insert(2, Point{X: 0.6, Y: 0.6}))
+			expectIndexObjects(t, x, map[uint64]Point{1: keep})
+		})
+	}
+}
+
+// TestIndexWALFailureRollsBackUpdate checks that the object stays at
+// its old position after a failed append.
+func TestIndexWALFailureRollsBackUpdate(t *testing.T) {
+	for _, f := range rollbackFlavors {
+		t.Run(f.name, func(t *testing.T) {
+			x := f.open(t, rollbackOpts(t, f.memtable))
+			defer x.Close()
+
+			old := Point{X: 0.2, Y: 0.2}
+			if err := x.Insert(1, old); err != nil {
+				t.Fatal(err)
+			}
+			failIndexWAL(t, x)
+
+			expectWALClosed(t, "update", x.Update(1, Point{X: 0.8, Y: 0.8}))
+			expectIndexObjects(t, x, map[uint64]Point{1: old})
+		})
+	}
+}
+
+// TestIndexWALFailureRollsBackDelete checks that the object is
+// resurrected at its old position after a failed append.
+func TestIndexWALFailureRollsBackDelete(t *testing.T) {
+	for _, f := range rollbackFlavors {
+		t.Run(f.name, func(t *testing.T) {
+			x := f.open(t, rollbackOpts(t, f.memtable))
+			defer x.Close()
+
+			p := Point{X: 0.4, Y: 0.4}
+			if err := x.Insert(1, p); err != nil {
+				t.Fatal(err)
+			}
+			failIndexWAL(t, x)
+
+			expectWALClosed(t, "delete", x.Delete(1))
+			expectIndexObjects(t, x, map[uint64]Point{1: p})
+		})
+	}
+}
+
+// TestIndexWALFailureRollsBackBatch checks the memtable absorb path's
+// batch atomicity: a batch whose single log record fails must unwind
+// every absorbed delta and report zero applied changes.
+func TestIndexWALFailureRollsBackBatch(t *testing.T) {
+	for _, f := range rollbackFlavors {
+		if !f.memtable {
+			continue // the tree path acks per-op and logs the applied prefix
+		}
+		t.Run(f.name, func(t *testing.T) {
+			x := f.open(t, rollbackOpts(t, f.memtable))
+			defer x.Close()
+
+			want := map[uint64]Point{
+				1: {X: 0.1, Y: 0.1},
+				2: {X: 0.7, Y: 0.3},
+			}
+			for id, p := range want {
+				if err := x.Insert(id, p); err != nil {
+					t.Fatal(err)
+				}
+			}
+			failIndexWAL(t, x)
+
+			res, err := x.UpdateBatch([]Change{
+				{ID: 1, To: Point{X: 0.5, Y: 0.5}},
+				{ID: 2, To: Point{X: 0.6, Y: 0.6}},
+			})
+			expectWALClosed(t, "batch update", err)
+			if res.Applied != 0 || res.Absorbed != 0 {
+				t.Fatalf("failed batch reports Applied=%d Absorbed=%d, want 0/0", res.Applied, res.Absorbed)
+			}
+			expectIndexObjects(t, x, want)
+		})
+	}
+}
