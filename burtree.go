@@ -437,10 +437,18 @@ func (x *Index) drainMemtable() error {
 	if entries == nil {
 		return x.mem.Err()
 	}
+	// Attribute the drain's page accesses to the tier's merge counter
+	// (even on failure — the pages were spent), mirroring the background
+	// attribution on ConcurrentIndex; the single-writer Index just runs
+	// its merges inline.
+	pre := uint64(x.io.Reads() + x.io.Writes())
 	err := drainEntries(entries, x.updater.Delete, x.updater.Insert, func(chs []core.BatchChange) error {
 		_, err := core.ApplyBatch(x.updater, chs, func(core.BatchChange) {})
 		return err
 	}, 1)
+	if d := uint64(x.io.Reads()+x.io.Writes()) - pre; d > 0 {
+		x.mem.AddMergePages(d)
+	}
 	if err != nil {
 		x.mem.Fail(err)
 		return fmt.Errorf("burtree: memtable merge: %w", err)
@@ -561,6 +569,32 @@ type BatchResult struct {
 	// such changes count in Applied but in none of the tree-path
 	// counters, since their tree work happens at merge-down time).
 	Absorbed int
+	// PageIO is the number of physical page accesses (reads + writes)
+	// the batch's foreground apply incurred, background merge-down work
+	// excluded. Under concurrent batches on the same index the figure
+	// can include pages from overlapping operations; it is an
+	// attribution signal, not an exact ledger. Absorbed batches report
+	// ~0: their tree I/O is deferred to merge-down.
+	PageIO int
+	// Combined is the number of this caller's changes handed to a
+	// hot-cell phase leader and applied as part of another caller's
+	// combined batch (ShardedIndex phase batching only). Such changes
+	// are applied, just not by this caller, so Applied+Combined is this
+	// caller's end-to-end total; the phase leader excludes followers'
+	// changes from its own Applied while reporting the phase-level
+	// Coalesced/Groups/PageIO once, in its result.
+	Combined int
+}
+
+// foregroundPages converts a bracketed (pages, background-pages) delta
+// pair into the foreground page count, clamped at zero: a background
+// drain finishing inside the bracket can make the background delta
+// exceed the foreground one.
+func foregroundPages(pages, bg uint64) int {
+	if bg >= pages {
+		return 0
+	}
+	return int(pages - bg)
 }
 
 // coalesceChanges validates every id against lookup, then coalesces
@@ -610,6 +644,7 @@ func (x *Index) UpdateBatch(changes []Change) (BatchResult, error) {
 		return x.absorbBatch(coalesced, res)
 	}
 	var applied []wal.Op
+	prePages := uint64(x.io.Reads() + x.io.Writes())
 	st, err := core.ApplyBatch(x.updater, coalesced, func(c core.BatchChange) {
 		x.objects[c.OID] = c.New
 		res.Applied++
@@ -620,6 +655,7 @@ func (x *Index) UpdateBatch(changes []Change) (BatchResult, error) {
 	res.Groups = st.Groups
 	res.GroupResolved = st.GroupResolved
 	res.Fallback = st.LocalFallback + st.Sequential
+	res.PageIO = foregroundPages(uint64(x.io.Reads()+x.io.Writes())-prePages, 0)
 	// One record covers the applied prefix — all of the batch on
 	// success, exactly the changes before the failure otherwise.
 	if werr := x.logAppend(wal.TypeBatch, applied); werr != nil {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"burtree/internal/buffer"
@@ -61,7 +62,28 @@ type ConcurrentIndex struct {
 	mem     *memtable.Table
 	mergeMu sync.Mutex
 	merge   *merger
+
+	// bgPages counts physical page accesses incurred by background
+	// merge-down drains, so foreground cost attribution (the sharded
+	// front-end's load metering and BatchResult.PageIO) can subtract
+	// deferred work from the window deltas it measures around x.io.
+	bgPages atomic.Uint64
 }
+
+// pagesNow returns the cumulative physical page accesses (reads +
+// writes) this index has performed. Together with BackgroundPages it
+// lets callers bracket an operation and attribute the delta as that
+// operation's foreground I/O. Under concurrency the delta can include
+// pages from overlapping operations on the same index; the attribution
+// is per shard either way, so the rebalancer's share signal keeps its
+// direction.
+func (x *ConcurrentIndex) pagesNow() uint64 {
+	return uint64(x.io.Reads() + x.io.Writes())
+}
+
+// BackgroundPages returns the cumulative physical page accesses
+// incurred by background memtable merge-down drains.
+func (x *ConcurrentIndex) BackgroundPages() uint64 { return x.bgPages.Load() }
 
 // OpenConcurrent creates an empty concurrent index. With
 // Options.Durability enabled, the durability directory must not
@@ -238,10 +260,21 @@ func (x *ConcurrentIndex) drainMemtable() error {
 	if entries == nil {
 		return x.mem.Err()
 	}
+	// The drain's page accesses are background work: deferred I/O from
+	// updates acknowledged in earlier windows. Attribute them to bgPages
+	// (and the memtable's merge stats) so foreground cost metering can
+	// subtract them — charging them to whichever foreground op happens to
+	// overlap the drain would re-skew the balance the cost weighting
+	// exists to fix. Attributed even on failure: the pages were spent.
+	pre := x.pagesNow()
 	err := drainEntries(entries, x.db.Delete, x.db.Insert, func(chs []core.BatchChange) error {
 		_, err := x.db.UpdateBatch(chs, func(core.BatchChange) {})
 		return err
 	}, x.options.Memtable.MergeParallelism)
+	if d := x.pagesNow() - pre; d > 0 {
+		x.bgPages.Add(d)
+		x.mem.AddMergePages(d)
+	}
 	if err != nil {
 		x.mem.Fail(err)
 		return fmt.Errorf("burtree: memtable merge: %w", err)
@@ -425,6 +458,7 @@ func (x *ConcurrentIndex) UpdateBatch(changes []Change) (BatchResult, error) {
 	}
 	res.Coalesced = dropped
 	var applied []wal.Op
+	prePages, preBG := x.pagesNow(), x.bgPages.Load()
 	st, err := x.db.UpdateBatch(coalesced, func(c core.BatchChange) {
 		x.mu.Lock()
 		x.objects[c.OID] = c.New
@@ -437,6 +471,7 @@ func (x *ConcurrentIndex) UpdateBatch(changes []Change) (BatchResult, error) {
 	res.Groups = st.Groups
 	res.GroupResolved = st.GroupResolved
 	res.Fallback = st.LocalFallback + st.Sequential
+	res.PageIO = foregroundPages(x.pagesNow()-prePages, x.bgPages.Load()-preBG)
 	// One record covers the applied prefix — all of the batch on
 	// success, exactly the changes before the failure otherwise.
 	if werr := x.logAppend(wal.TypeBatch, applied); werr != nil {

@@ -43,4 +43,44 @@ func TestRunSkewSweepSmoke(t *testing.T) {
 			t.Fatalf("static arm changed boundaries: %+v", r)
 		}
 	}
+
+	// The θ=1.1 weighted-vs-opcount round: both adaptive signal arms
+	// must complete and rebalance under a heavily skewed stream — the
+	// op-count arm exercising the pre-cost comparison path, the weighted
+	// arm exercising cost-weighted shares plus hot-object phase batching.
+	for _, arm := range []struct {
+		name     string
+		opCounts bool
+		window   time.Duration
+	}{
+		{name: "op-count", opCounts: true},
+		{name: "weighted+phase", window: 100 * time.Microsecond},
+	} {
+		r, err := RunSkewSweep(SkewSweepConfig{
+			Theta:        1.1,
+			Adaptive:     true,
+			OpCounts:     arm.opCounts,
+			PhaseWindow:  arm.window,
+			Shards:       4,
+			Workers:      8,
+			NumObjects:   2000,
+			Updates:      2000,
+			BatchSize:    4,
+			Hotspots:     2,
+			HotspotDrift: 0.1,
+			MaxDist:      0.03,
+			IOLatency:    20 * time.Microsecond,
+			BufferPages:  16,
+			Seed:         1,
+		})
+		if err != nil {
+			t.Fatalf("%s arm: %v", arm.name, err)
+		}
+		if r.UpdatesPerSec <= 0 || r.Updates <= 0 {
+			t.Fatalf("%s arm: degenerate result %+v", arm.name, r)
+		}
+		if r.RouterEpoch == 0 {
+			t.Fatalf("%s arm never rebalanced: %+v", arm.name, r)
+		}
+	}
 }

@@ -80,6 +80,10 @@ type Stats struct {
 	Merges int64
 	// Merged counts entries merged down to the tree.
 	Merged int64
+	// MergePages counts physical page accesses incurred by merge-downs
+	// — the background half of the tier's I/O, attributed here so
+	// foreground load accounting can exclude it.
+	MergePages int64
 }
 
 // Table is the delta tier. All methods are safe for concurrent use; the
@@ -93,10 +97,11 @@ type Table struct {
 	flush  map[uint64]Entry // non-nil only while a drain is applying
 	oldest time.Time        // arrival time of the mutable generation's first entry
 
-	absorbed int64
-	merges   int64
-	merged   int64
-	err      error // sticky merge failure; see Fail
+	absorbed   int64
+	merges     int64
+	merged     int64
+	mergePages int64
+	err        error // sticky merge failure; see Fail
 }
 
 // New returns an empty table.
@@ -254,6 +259,14 @@ func (t *Table) BeginDrain() []Entry {
 	return out
 }
 
+// AddMergePages attributes pages physical page accesses to merge-down
+// work; called by the front-end that measured the drain it ran.
+func (t *Table) AddMergePages(pages uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.mergePages += int64(pages)
+}
+
 // EndDrain discards the draining generation after every entry has been
 // applied to the tree.
 func (t *Table) EndDrain() {
@@ -312,9 +325,10 @@ func (t *Table) Stats() Stats {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return Stats{
-		Entries:  len(t.mut) + len(t.flush),
-		Absorbed: t.absorbed,
-		Merges:   t.merges,
-		Merged:   t.merged,
+		Entries:    len(t.mut) + len(t.flush),
+		Absorbed:   t.absorbed,
+		Merges:     t.merges,
+		Merged:     t.merged,
+		MergePages: t.mergePages,
 	}
 }

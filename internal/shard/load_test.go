@@ -112,30 +112,34 @@ func TestLoadQuantileBounds(t *testing.T) {
 
 func TestLoadTrackerSampleEWMA(t *testing.T) {
 	tr := NewLoadTracker(4)
-	tr.RecordUpdates(0, 5, 30)
-	tr.RecordUpdates(1, 900, 10)
-	shares, ops := tr.Sample()
-	if ops != 40 {
-		t.Fatalf("window ops = %d, want 40", ops)
+	tr.RecordUpdates(0, 5, 30, 0)
+	tr.RecordUpdates(1, 900, 10, 0)
+	w := tr.Sample()
+	if w.Ops != 40 {
+		t.Fatalf("window ops = %d, want 40", w.Ops)
 	}
-	if shares[0] != 0.75 || shares[1] != 0.25 || shares[2] != 0 {
-		t.Fatalf("first-window shares = %v", shares)
+	// No page I/O: cost shares equal op shares.
+	if w.Shares[0] != 0.75 || w.Shares[1] != 0.25 || w.Shares[2] != 0 {
+		t.Fatalf("first-window shares = %v", w.Shares)
+	}
+	if w.OpShares[0] != 0.75 || w.OpShares[1] != 0.25 {
+		t.Fatalf("first-window op shares = %v", w.OpShares)
 	}
 	// Second window: all load on shard 2 → EWMA folds with weight ½.
 	for i := 0; i < 20; i++ {
-		tr.RecordQuery(2)
+		tr.RecordQuery(2, 0)
 	}
-	shares, ops = tr.Sample()
-	if ops != 20 {
-		t.Fatalf("second window ops = %d", ops)
+	w = tr.Sample()
+	if w.Ops != 20 {
+		t.Fatalf("second window ops = %d", w.Ops)
 	}
-	if shares[0] != 0.375 || shares[2] != 0.5 {
-		t.Fatalf("EWMA shares = %v", shares)
+	if w.Shares[0] != 0.375 || w.Shares[2] != 0.5 {
+		t.Fatalf("EWMA shares = %v", w.Shares)
 	}
 	// Empty window leaves the EWMA untouched.
-	again, ops := tr.Sample()
-	if ops != 0 || again[0] != 0.375 {
-		t.Fatalf("empty window changed shares: %v (ops %d)", again, ops)
+	again := tr.Sample()
+	if again.Ops != 0 || again.Shares[0] != 0.375 {
+		t.Fatalf("empty window changed shares: %v (ops %d)", again.Shares, again.Ops)
 	}
 	if got := tr.UpdateCount(0); got != 30 {
 		t.Fatalf("UpdateCount(0) = %d", got)
@@ -145,10 +149,93 @@ func TestLoadTrackerSampleEWMA(t *testing.T) {
 	}
 }
 
+func TestLoadTrackerCostWeighting(t *testing.T) {
+	tr := NewLoadTracker(2)
+	// Shard 0: many cheap ops (no pages). Shard 1: few expensive ops.
+	// Op shares say shard 0 is hot; cost shares must say shard 1 is.
+	tr.RecordUpdates(0, 5, 90, 0)
+	tr.RecordUpdates(1, 900, 10, 90) // 90 pages → 10 + 90·CostPerPage cost
+	w := tr.Sample()
+	if w.OpShares[0] != 0.9 {
+		t.Fatalf("op shares = %v, want shard 0 at 0.9", w.OpShares)
+	}
+	if w.Shares[1] <= w.Shares[0] {
+		t.Fatalf("cost shares = %v, want shard 1 dominant", w.Shares)
+	}
+	if want := uint64(100 + 90*CostPerPage); w.Cost != want {
+		t.Fatalf("window cost = %d, want %d", w.Cost, want)
+	}
+	// The cell histogram is cost-weighted too; the op histogram is not.
+	if w.Cells[900] <= w.Cells[5] {
+		t.Fatalf("cost cells = %d vs %d, want cell 900 dominant", w.Cells[900], w.Cells[5])
+	}
+	if w.CellOps[5] != 90 || w.CellOps[900] != 10 {
+		t.Fatalf("op cells = %d / %d", w.CellOps[5], w.CellOps[900])
+	}
+}
+
+func TestLoadTrackerRecordBatch(t *testing.T) {
+	tr := NewLoadTracker(2)
+	// 10 ops over two cells, 7 pages: page cost distributes ∝ op counts
+	// and no unit is lost to rounding.
+	tr.RecordBatch(0, 7, []CellCount{{Cell: 3, N: 6}, {Cell: 4, N: 4}})
+	if got := tr.UpdateCount(0); got != 10 {
+		t.Fatalf("UpdateCount = %d", got)
+	}
+	wantCost := uint64(10 + 7*CostPerPage)
+	if got := tr.CostOf(0); got != wantCost {
+		t.Fatalf("CostOf = %d, want %d", got, wantCost)
+	}
+	cl := tr.CellLoads()
+	if cl[3]+cl[4] != wantCost {
+		t.Fatalf("cell cost %d + %d != %d", cl[3], cl[4], wantCost)
+	}
+	if cl[3] <= cl[4] {
+		t.Fatalf("cell 3 (%d) should carry more cost than cell 4 (%d)", cl[3], cl[4])
+	}
+	// Zero ops with pages: shard is charged, histogram untouched (the ops
+	// were accounted to their destination cells).
+	tr.RecordBatch(1, 3, nil)
+	if got := tr.CostOf(1); got != 3*CostPerPage {
+		t.Fatalf("departure-only cost = %d", got)
+	}
+	if got := tr.UpdateCount(1); got != 0 {
+		t.Fatalf("departure-only ops = %d", got)
+	}
+}
+
+func TestLoadTrackerQueryPages(t *testing.T) {
+	tr := NewLoadTracker(2)
+	// A scatter read touching both shards: shard 0 answers from 12 pages,
+	// shard 1 is empty. Equal-per-visit accounting would charge them the
+	// same; per-page accounting must not.
+	tr.RecordQuery(0, 12)
+	tr.RecordQuery(1, 0)
+	if q0, q1 := tr.QueryCount(0), tr.QueryCount(1); q0 != 1 || q1 != 1 {
+		t.Fatalf("query counts = %d / %d", q0, q1)
+	}
+	if c0, c1 := tr.CostOf(0), tr.CostOf(1); c0 != 1+12*CostPerPage || c1 != 1 {
+		t.Fatalf("query costs = %d / %d", c0, c1)
+	}
+}
+
+func TestLoadTrackerBackground(t *testing.T) {
+	tr := NewLoadTracker(2)
+	tr.RecordUpdates(0, 0, 10, 0)
+	tr.RecordBackground(0, 500)
+	if got := tr.BackgroundPages(0); got != 500 {
+		t.Fatalf("BackgroundPages = %d", got)
+	}
+	// Background pages must not leak into the foreground cost signal.
+	if got := tr.CostOf(0); got != 10 {
+		t.Fatalf("CostOf = %d, want 10", got)
+	}
+}
+
 func TestLoadTrackerCells(t *testing.T) {
 	tr := NewLoadTracker(2)
-	tr.RecordUpdates(0, 7, 8)
-	tr.RecordUpdates(1, 7, 4)
+	tr.RecordUpdates(0, 7, 8, 0)
+	tr.RecordUpdates(1, 7, 4, 0)
 	cl := tr.CellLoads()
 	if cl[7] != 12 {
 		t.Fatalf("cell 7 load = %d", cl[7])
@@ -159,20 +246,103 @@ func TestLoadTrackerCells(t *testing.T) {
 	}
 }
 
+// TestLoadTrackerSampleDecayAtomic is the regression test for the
+// decay-vs-sample race: a DecayCells landing between the share sample
+// and a CellLoads read could zero the histogram a boundary cut was
+// computed from. Sample's Window snapshots the cells under the same
+// mutex hold, so concurrent decays can halve what later samples see but
+// never desynchronize one Window's shares from its cells.
+func TestLoadTrackerSampleDecayAtomic(t *testing.T) {
+	tr := NewLoadTracker(2)
+	tr.RecordUpdates(0, 42, 1<<20, 0)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				tr.DecayCells()
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		w := tr.Sample()
+		// The recorded load only ever halves; whatever survives must sit
+		// in cell 42, and shares/cells must describe the same state: if
+		// the share says shard 0 carried everything, the histogram must
+		// not be empty-at-42 while nonzero elsewhere.
+		for c, v := range w.Cells {
+			if c != 42 && v != 0 {
+				t.Fatalf("cost leaked to cell %d: %d", c, v)
+			}
+		}
+		if w.Shares[0] == 1 && w.Cells[42] == 0 && w.Ops > 0 {
+			t.Fatalf("window shares %v with zeroed histogram", w.Shares)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func TestLoadTrackerResetShares(t *testing.T) {
 	tr := NewLoadTracker(2)
-	tr.RecordUpdates(0, 0, 100)
+	tr.RecordUpdates(0, 0, 100, 0)
 	tr.Sample()
-	tr.ResetShares()
+	tr.ResetShares(nil)
 	if s := tr.Shares(); s[0] != 0 || s[1] != 0 {
 		t.Fatalf("shares after reset = %v", s)
 	}
+	if s := tr.OpShares(); s[0] != 0 || s[1] != 0 {
+		t.Fatalf("op shares after reset = %v", s)
+	}
 	// The reset also restarts the window: the old 100 ops must not count
 	// toward the next sample.
-	tr.RecordUpdates(1, 0, 10)
-	shares, ops := tr.Sample()
-	if ops != 10 || shares[1] != 1 {
-		t.Fatalf("post-reset window = %v (ops %d)", shares, ops)
+	tr.RecordUpdates(1, 0, 10, 0)
+	w := tr.Sample()
+	if w.Ops != 10 || w.Shares[1] != 1 {
+		t.Fatalf("post-reset window = %v (ops %d)", w.Shares, w.Ops)
+	}
+}
+
+// SampleAt must derive each shard's window cost from the caller's exact
+// cumulative page counters, not the bracket-recorded cost: with equal op
+// counts and equal (inflated) recorded costs, the shard whose exact
+// pages advanced dominates the cost share while op shares stay even.
+func TestLoadTrackerSampleAt(t *testing.T) {
+	tr := NewLoadTracker(2)
+	// Both shards record 10 ops with 50 bracketed pages each — as if
+	// overlapping brackets double-counted identically on both.
+	tr.RecordUpdates(0, 0, 10, 50)
+	tr.RecordUpdates(1, 1, 10, 50)
+	w := tr.SampleAt([]uint64{0, 90})
+	if w.OpShares[0] != 0.5 || w.OpShares[1] != 0.5 {
+		t.Fatalf("op shares = %v, want even", w.OpShares)
+	}
+	if w.Shares[1] < 0.9 {
+		t.Fatalf("cost shares = %v, want shard 1 dominant (exact pages 90 vs 0)", w.Shares)
+	}
+	// The exact cost is ops + pages*CostPerPage, unaffected by the
+	// inflated recorded 100 pages.
+	if want := uint64(20 + 90*CostPerPage); w.Cost != want {
+		t.Fatalf("window cost = %d, want %d", w.Cost, want)
+	}
+	// The next window consumes only the page delta since the last
+	// SampleAt; a counter that does not advance contributes its base
+	// units alone.
+	tr.RecordUpdates(0, 0, 10, 0)
+	tr.RecordUpdates(1, 1, 10, 0)
+	w = tr.SampleAt([]uint64{8, 90})
+	if want := uint64(20 + 8*CostPerPage); w.Cost != want {
+		t.Fatalf("second window cost = %d, want %d", w.Cost, want)
+	}
+	// EWMA: shard 0 carried this window's pages, pulling its share up
+	// from ~0 toward (0.5·prev + 0.5·now).
+	if w.Shares[0] < 0.3 || w.Shares[0] > 0.5 {
+		t.Fatalf("folded cost shares = %v", w.Shares)
 	}
 }
 
@@ -184,8 +354,9 @@ func TestLoadTrackerConcurrent(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for i := 0; i < 1000; i++ {
-				tr.RecordUpdates(w%4, uint64(i%NumCells), 1)
-				tr.RecordQuery(w % 4)
+				tr.RecordUpdates(w%4, uint64(i%NumCells), 1, uint64(i%3))
+				tr.RecordQuery(w%4, uint64(i%2))
+				tr.RecordBackground(w%4, 1)
 			}
 		}(w)
 	}

@@ -1,0 +1,406 @@
+package burtree
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"burtree/internal/shard"
+)
+
+// cellMidpoints probes the unit square at Hilbert-cell midpoints and
+// returns those owned by the given shard, so tests can place load in a
+// known shard without depending on the curve layout.
+func cellMidpoints(x *ShardedIndex, s int) []Point {
+	var out []Point
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 32; j++ {
+			p := Point{X: (float64(i) + 0.5) / 32, Y: (float64(j) + 0.5) / 32}
+			if x.router.ShardOf(p) == s {
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// TestScatterQueryCostPerShard is the regression test for scatter-read
+// accounting: a wide window visits every shard, and before cost
+// weighting each visit was indistinguishable — one count per shard,
+// whether the shard answered from a deep tree or was empty. The
+// per-shard cost must now reflect the pages actually visited: the
+// populated shard pays real I/O, the empty shards almost none.
+func TestScatterQueryCostPerShard(t *testing.T) {
+	x, err := OpenSharded(Options{
+		Strategy: GeneralizedBottomUp,
+		// One buffer page per shard, so the populated shard's window scan
+		// pays physical reads instead of disappearing into the pool.
+		BufferPages:     4,
+		ExpectedObjects: 4096,
+	}, ShardOptions{Shards: 4, Partition: ShardGrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+
+	// All objects in one quadrant: three shards stay empty.
+	rng := rand.New(rand.NewSource(3))
+	ids := make([]uint64, 600)
+	pts := make([]Point, 600)
+	for i := range ids {
+		ids[i] = uint64(i)
+		pts[i] = Point{X: rng.Float64() * 0.5, Y: rng.Float64() * 0.5}
+	}
+	if err := x.BulkInsert(ids, pts, PackSTR); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := x.Search(NewRect(0, 0, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+
+	loads := x.ShardLoads()
+	popCost, emptyMax := uint64(0), uint64(0)
+	for _, l := range loads {
+		// The op-count signal cannot tell the visits apart — that is the
+		// bug this test pins down.
+		if l.Queries != 1 {
+			t.Fatalf("whole-space scatter: per-shard visit counts %+v, want 1 each", loads)
+		}
+		if l.Objects > 0 {
+			popCost = l.Cost
+		} else if l.Cost > emptyMax {
+			emptyMax = l.Cost
+		}
+	}
+	if popCost == 0 {
+		t.Fatalf("populated shard recorded no cost: %+v", loads)
+	}
+	// The populated shard's scan read real pages; an empty shard's visit
+	// is nearly free (at most the base unit plus a root touch).
+	if popCost < 8*(emptyMax+1) {
+		t.Fatalf("populated shard cost %d not ≫ empty shard cost %d: %+v", popCost, emptyMax, loads)
+	}
+}
+
+// weightedWorkloadRound drives one window of the cheap-hot /
+// expensive-cold workload: a large batched update stream hammering a
+// few objects in one cell of shard 0 (coalesces to almost no I/O), and
+// a small single-update stream spreading shard 1's objects across its
+// whole region (every op pays real leaf I/O through a one-page buffer).
+// Op counts and I/O disagree by construction: shard 0 wins the op
+// count, shard 1 the actual page traffic.
+func weightedWorkloadRound(t *testing.T, x *ShardedIndex, hotIDs []uint64, hotCenter Point,
+	coldIDs []uint64, coldPts []Point, r int, rng *rand.Rand) {
+	t.Helper()
+	batch := make([]Change, 256)
+	for j := range batch {
+		batch[j] = Change{
+			ID: hotIDs[j%len(hotIDs)],
+			To: Point{
+				X: hotCenter.X + (rng.Float64()*2-1)*0.002,
+				Y: hotCenter.Y + (rng.Float64()*2-1)*0.002,
+			},
+		}
+	}
+	if _, err := x.UpdateBatch(batch); err != nil {
+		t.Fatal(err)
+	}
+	for k, id := range coldIDs {
+		p := coldPts[(k+r*7)%len(coldPts)]
+		p.X += (rng.Float64()*2 - 1) * 0.002
+		p.Y += (rng.Float64()*2 - 1) * 0.002
+		if err := x.Update(id, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// openCheapHotExpensiveCold builds the two-shard index for the
+// weighted-signal tests and populates it: a few hot objects clustered
+// in one cell of shard 0, many cold objects spread over shard 1.
+func openCheapHotExpensiveCold(t *testing.T) (x *ShardedIndex, hotIDs []uint64, hotCenter Point, coldIDs []uint64, coldPts []Point) {
+	t.Helper()
+	x, err := OpenSharded(Options{
+		Strategy:        GeneralizedBottomUp,
+		BufferPages:     2, // one page per shard: cold updates pay physical I/O
+		ExpectedObjects: 512,
+	}, ShardOptions{Shards: 2, Partition: ShardHilbert})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotPts := cellMidpoints(x, 0)
+	coldPts = cellMidpoints(x, 1)
+	if len(hotPts) == 0 || len(coldPts) < 64 {
+		t.Fatalf("probing found %d shard-0 and %d shard-1 cells", len(hotPts), len(coldPts))
+	}
+	// A cluster cell early on the curve, so the op-count arm's quantile
+	// target lands clearly inside shard 0's range.
+	hotCenter = hotPts[0]
+	for _, p := range hotPts {
+		if shard.CellKey(p) < shard.CellKey(hotCenter) {
+			hotCenter = p
+		}
+	}
+	for i := 0; i < 4; i++ {
+		id := uint64(1000 + i)
+		hotIDs = append(hotIDs, id)
+		if err := x.Insert(id, hotCenter); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		id := uint64(2000 + i)
+		coldIDs = append(coldIDs, id)
+		if err := x.Insert(id, coldPts[i%len(coldPts)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return x, hotIDs, hotCenter, coldIDs, coldPts
+}
+
+// TestWeightedSharesCheapHotExpensiveCold is the workload where op
+// counts and I/O disagree by construction: shard 0 absorbs 4× the
+// operations at almost no page cost, shard 1 takes a quarter of the
+// ops but pays real I/O for each. The op-count shares must favor
+// shard 0 and the cost-weighted shares shard 1.
+func TestWeightedSharesCheapHotExpensiveCold(t *testing.T) {
+	x, hotIDs, hotCenter, coldIDs, coldPts := openCheapHotExpensiveCold(t)
+	defer x.Close()
+
+	rng := rand.New(rand.NewSource(19))
+	for r := 0; r < 4; r++ {
+		weightedWorkloadRound(t, x, hotIDs, hotCenter, coldIDs, coldPts, r, rng)
+		x.load.SampleAt(x.fgPages())
+	}
+
+	loads := x.ShardLoads()
+	if loads[0].Updates <= loads[1].Updates {
+		t.Fatalf("setup: hot shard should win the op count: %+v", loads)
+	}
+	if loads[1].Cost <= loads[0].Cost {
+		t.Fatalf("setup: cold shard should win the cost: %+v", loads)
+	}
+	if loads[0].OpShare < 0.6 {
+		t.Fatalf("op-count share of the op-heavy shard = %.2f, want > 0.6: %+v", loads[0].OpShare, loads)
+	}
+	if loads[1].Share < 0.6 {
+		t.Fatalf("weighted share of the I/O-heavy shard = %.2f, want > 0.6: %+v", loads[1].Share, loads)
+	}
+}
+
+// TestWeightedRebalanceDirection runs the cheap-hot/expensive-cold
+// workload twice and checks the rebalancer's boundary moves in
+// opposite directions under the two signals: the cost-weighted default
+// judges the I/O-heavy shard 1 hot and raises the cut (shedding
+// shard 1's cells to shard 0), while the op-count arm chases the
+// cheap update stream and lowers the cut toward shard 0's hot cell.
+func TestWeightedRebalanceDirection(t *testing.T) {
+	run := func(opCounts bool) (before, after uint64) {
+		x, hotIDs, hotCenter, coldIDs, coldPts := openCheapHotExpensiveCold(t)
+		defer x.Close()
+		rng := rand.New(rand.NewSource(23))
+		for r := 0; r < 4; r++ {
+			weightedWorkloadRound(t, x, hotIDs, hotCenter, coldIDs, coldPts, r, rng)
+			x.load.SampleAt(x.fgPages())
+		}
+		// One more window feeds the Rebalance call's own sample.
+		weightedWorkloadRound(t, x, hotIDs, hotCenter, coldIDs, coldPts, 4, rng)
+		x.SetRebalance(RebalanceOptions{
+			HotFactor:   1.1,
+			MinOps:      64,
+			MaxStep:     1 << 20,
+			UseOpCounts: opCounts,
+		})
+		before = x.router.Bounds()[0]
+		if _, err := x.Rebalance(); err != nil {
+			t.Fatal(err)
+		}
+		if got := x.RouterEpoch(); got != 1 {
+			t.Fatalf("rebalance (opCounts=%v) did not move a boundary: epoch %d, loads %+v",
+				opCounts, got, x.ShardLoads())
+		}
+		if err := x.CheckInvariants(); err != nil {
+			t.Fatalf("invariants after rebalance (opCounts=%v): %v", opCounts, err)
+		}
+		return before, x.router.Bounds()[0]
+	}
+
+	before, weighted := run(false)
+	if weighted <= before {
+		t.Fatalf("weighted rebalance moved the cut %d -> %d; want raised (shrinking the I/O-heavy shard)", before, weighted)
+	}
+	before, opcount := run(true)
+	if opcount >= before {
+		t.Fatalf("op-count rebalance moved the cut %d -> %d; want lowered (chasing the op-heavy shard)", before, opcount)
+	}
+}
+
+// phaseBatchFixture opens a two-shard index with a populated hot-cell
+// set: ids clustered in one cell of shard 0, primed and sampled so the
+// rebalancer marks the cell for phase batching.
+func phaseBatchFixture(t *testing.T, window time.Duration, nIDs int) (*ShardedIndex, []uint64, Point) {
+	t.Helper()
+	x, err := OpenSharded(Options{
+		Strategy:        GeneralizedBottomUp,
+		BufferPages:     64,
+		ExpectedObjects: 2048,
+	}, ShardOptions{Shards: 2, Partition: ShardHilbert})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := cellMidpoints(x, 0)
+	if len(pts) == 0 {
+		t.Fatal("probing found no shard-0 cells")
+	}
+	center := pts[0]
+	ids := make([]uint64, nIDs)
+	rng := rand.New(rand.NewSource(29))
+	for i := range ids {
+		ids[i] = uint64(i)
+		p := Point{
+			X: center.X + (rng.Float64()*2-1)*0.002,
+			Y: center.Y + (rng.Float64()*2-1)*0.002,
+		}
+		if err := x.Insert(ids[i], p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// HotFactor is set absurdly high so the priming window marks the
+	// cell hot without ever moving a boundary.
+	x.SetRebalance(RebalanceOptions{
+		PhaseWindow:   window,
+		HotCellFactor: 2,
+		MinOps:        1,
+		HotFactor:     1e9,
+	})
+	prime := make([]Change, 64)
+	for j := range prime {
+		prime[j] = Change{ID: ids[j%len(ids)], To: Point{
+			X: center.X + (rng.Float64()*2-1)*0.002,
+			Y: center.Y + (rng.Float64()*2-1)*0.002,
+		}}
+	}
+	if _, err := x.UpdateBatch(prime); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Rebalance(); err != nil {
+		t.Fatal(err)
+	}
+	if len(x.HotCells()) == 0 {
+		t.Fatalf("priming did not mark the cluster cell hot; loads %+v", x.ShardLoads())
+	}
+	return x, ids, center
+}
+
+// TestPhaseBatchingSingleCaller routes one caller's batch through the
+// phase path: with the cell marked hot the caller leads its own phase,
+// and the result must account every change exactly as the ordinary
+// path would.
+func TestPhaseBatchingSingleCaller(t *testing.T) {
+	x, ids, center := phaseBatchFixture(t, time.Millisecond, 8)
+	defer x.Close()
+
+	targets := make(map[uint64]Point, len(ids))
+	batch := make([]Change, 0, len(ids))
+	rng := rand.New(rand.NewSource(31))
+	for _, id := range ids {
+		p := Point{
+			X: center.X + (rng.Float64()*2-1)*0.002,
+			Y: center.Y + (rng.Float64()*2-1)*0.002,
+		}
+		targets[id] = p
+		batch = append(batch, Change{ID: id, To: p})
+	}
+	res, err := x.UpdateBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Applied != len(ids) || res.Combined != 0 {
+		t.Fatalf("single-caller phase batch: Applied %d Combined %d, want %d/0", res.Applied, res.Combined, len(ids))
+	}
+	for id, want := range targets {
+		if got, ok := x.Location(id); !ok || got != want {
+			t.Fatalf("object %d at %v after phase batch, want %v", id, got, want)
+		}
+	}
+	if err := x.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Turning phase batching off clears the hot set immediately and the
+	// next batch takes the ordinary path.
+	x.SetRebalance(RebalanceOptions{})
+	if got := x.HotCells(); len(got) != 0 {
+		t.Fatalf("hot set survived disabling phase batching: %v", got)
+	}
+}
+
+// TestPhaseBatchingCombinesCallers releases several concurrent callers
+// into one accumulation window: the first joiner leads, the rest must
+// ride its phase and report their changes as combined. Every object
+// still lands exactly where its caller sent it.
+func TestPhaseBatchingCombinesCallers(t *testing.T) {
+	const callers, perCaller = 6, 4
+	x, ids, center := phaseBatchFixture(t, 300*time.Millisecond, callers*perCaller)
+	defer x.Close()
+
+	targets := make([]map[uint64]Point, callers)
+	results := make([]BatchResult, callers)
+	errs := make([]error, callers)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < callers; g++ {
+		targets[g] = make(map[uint64]Point, perCaller)
+		batch := make([]Change, 0, perCaller)
+		rng := rand.New(rand.NewSource(int64(37 + g)))
+		for i := 0; i < perCaller; i++ {
+			id := ids[g*perCaller+i]
+			p := Point{
+				X: center.X + (rng.Float64()*2-1)*0.002,
+				Y: center.Y + (rng.Float64()*2-1)*0.002,
+			}
+			targets[g][id] = p
+			batch = append(batch, Change{ID: id, To: p})
+		}
+		wg.Add(1)
+		go func(g int, batch []Change) {
+			defer wg.Done()
+			<-start
+			results[g], errs[g] = x.UpdateBatch(batch)
+		}(g, batch)
+	}
+	close(start)
+	wg.Wait()
+
+	applied, combined := 0, 0
+	for g := 0; g < callers; g++ {
+		if errs[g] != nil {
+			t.Fatalf("caller %d: %v", g, errs[g])
+		}
+		applied += results[g].Applied
+		combined += results[g].Combined
+	}
+	// Callers move disjoint ids, so Applied+Combined across callers must
+	// equal the offered stream exactly: a leader counting its followers'
+	// changes in Applied (while they also report Combined) double-counts.
+	if applied+combined != callers*perCaller {
+		t.Fatalf("Applied %d + Combined %d != %d offered changes", applied, combined, callers*perCaller)
+	}
+	// With a 300ms window and callers released together, followers must
+	// have ridden the leader's phase.
+	if combined == 0 {
+		t.Fatalf("no caller combined into a shared phase: results %+v", results)
+	}
+	for g := 0; g < callers; g++ {
+		for id, want := range targets[g] {
+			if got, ok := x.Location(id); !ok || got != want {
+				t.Fatalf("object %d at %v after combined phases, want %v", id, got, want)
+			}
+		}
+	}
+	if err := x.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -95,6 +95,11 @@ type MemtableStats struct {
 	Merges int64
 	// Merged counts deltas merged down to the tree.
 	Merged int64
+	// MergePages counts physical page accesses incurred by merge-downs:
+	// the background half of the tier's I/O, attributed separately so
+	// foreground load accounting (ShardLoads, BatchResult.PageIO)
+	// excludes deferred work.
+	MergePages int64
 }
 
 func memStatsOf(t *memtable.Table) MemtableStats {
@@ -102,15 +107,16 @@ func memStatsOf(t *memtable.Table) MemtableStats {
 		return MemtableStats{}
 	}
 	s := t.Stats()
-	return MemtableStats{Entries: s.Entries, Absorbed: s.Absorbed, Merges: s.Merges, Merged: s.Merged}
+	return MemtableStats{Entries: s.Entries, Absorbed: s.Absorbed, Merges: s.Merges, Merged: s.Merged, MergePages: s.MergePages}
 }
 
 func (s MemtableStats) add(o MemtableStats) MemtableStats {
 	return MemtableStats{
-		Entries:  s.Entries + o.Entries,
-		Absorbed: s.Absorbed + o.Absorbed,
-		Merges:   s.Merges + o.Merges,
-		Merged:   s.Merged + o.Merged,
+		Entries:    s.Entries + o.Entries,
+		Absorbed:   s.Absorbed + o.Absorbed,
+		Merges:     s.Merges + o.Merges,
+		Merged:     s.Merged + o.Merged,
+		MergePages: s.MergePages + o.MergePages,
 	}
 }
 

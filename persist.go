@@ -698,8 +698,10 @@ func LoadSharded(r io.Reader) (*ShardedIndex, error) {
 		objects:     objects,
 		walSeq:      s.WALSeq,
 		load:        shard.NewLoadTracker(s.Shards),
+		pageBase:    make([]uint64, s.Shards),
 		ropts:       RebalanceOptions{}.withDefaults(),
 		routerEpoch: s.RouterEpoch,
+		combiners:   newCombiners(s.Shards),
 	}
 	return x, nil
 }

@@ -1,0 +1,272 @@
+package burtree
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"burtree/internal/shard"
+	"burtree/internal/wal"
+)
+
+// This file implements hot-object phase batching for ShardedIndex.
+// Under extreme skew a handful of Hilbert cells absorb most of the
+// update stream, and every caller's batch pays its own lock
+// acquisition, leaf read and leaf write against the same hot leaf —
+// the leaf ping-pongs between callers. When the rebalancer's sampling
+// window finds a cell whose weighted load exceeds the configured
+// threshold (RebalanceOptions.HotCellFactor), updates targeting that
+// cell are diverted through a per-shard combiner: the first caller of
+// a phase becomes its leader, concurrent callers append their hot
+// changes to the open phase, and after a short accumulation window
+// (RebalanceOptions.PhaseWindow) the leader applies the combined
+// changes as one batch through the shard's ordinary stay path — one
+// lock acquisition and one leaf pass per phase instead of one per
+// caller. Followers wait for the leader's apply and share its error,
+// exactly like the WAL group-commit leader shares its sync.
+
+// hotCellSet is the set of phase-batched cell keys, swapped atomically
+// so the batch routing loop reads it with one pointer load (nil ⇒
+// phase batching off ⇒ zero cost on the update path).
+type hotCellSet map[uint64]struct{}
+
+// maxHotCells bounds the hot set: phase batching targets the few cells
+// that dominate the histogram, and a large set would divert general
+// traffic into needless serialization.
+const maxHotCells = 16
+
+// refreshHotCells recomputes the hot-cell set from one sampling
+// window's weighted cell histogram. Called by Rebalance on every
+// Sample; outside rebalancing (PhaseWindow off, or a window too quiet
+// to judge) the set is cleared or kept as-is respectively.
+func (x *ShardedIndex) refreshHotCells(o RebalanceOptions, cells []uint64, ops uint64) {
+	if o.PhaseWindow <= 0 {
+		x.hotCells.Store(nil)
+		x.phaseWin.Store(0)
+		return
+	}
+	x.phaseWin.Store(int64(o.PhaseWindow))
+	if ops < o.MinOps {
+		return // too quiet to re-judge; keep the current set
+	}
+	var total uint64
+	for _, c := range cells {
+		total += c
+	}
+	if total == 0 {
+		return
+	}
+	threshold := o.HotCellFactor * float64(total) / float64(shard.NumCells)
+	hs := make(hotCellSet)
+	for cell, c := range cells {
+		if float64(c) > threshold {
+			hs[uint64(cell)] = struct{}{}
+		}
+	}
+	for len(hs) > maxHotCells {
+		// Evict the lightest member so the set keeps only the dominant
+		// cells; len(hs) is tiny, so the repeated min scan is cheap.
+		coldest, coldestLoad := uint64(0), ^uint64(0)
+		for cell := range hs {
+			if cells[cell] < coldestLoad {
+				coldest, coldestLoad = cell, cells[cell]
+			}
+		}
+		delete(hs, coldest)
+	}
+	if len(hs) == 0 {
+		x.hotCells.Store(nil)
+		return
+	}
+	x.hotCells.Store(&hs)
+}
+
+// HotCells reports the cells currently routed through phase batching
+// (diagnostics; empty when phase batching is off or nothing is hot).
+func (x *ShardedIndex) HotCells() []uint64 {
+	hs := x.hotCells.Load()
+	if hs == nil {
+		return nil
+	}
+	out := make([]uint64, 0, len(*hs))
+	for cell := range *hs {
+		out = append(out, cell)
+	}
+	return out
+}
+
+// phaseBatch is one open phase: the changes accumulated across callers
+// and the completion the followers wait on.
+type phaseBatch struct {
+	changes []Change
+	callers int
+	done    chan struct{}
+	res     BatchResult
+	err     error
+}
+
+// phaseCombiner coalesces hot-cell updates across callers for one
+// shard. The mutex only covers phase bookkeeping (pointer swap and
+// slice append), never tree work: the leader applies the detached
+// phase outside the lock.
+type phaseCombiner struct {
+	mu  sync.Mutex
+	cur *phaseBatch
+}
+
+// join adds the caller's hot changes to the shard's open phase,
+// opening one if none is accumulating. The returned lead flag makes
+// the caller this phase's leader: it must apply the phase (via
+// leadPhase) after its accumulation window. This is the per-op buffer
+// path — one mutex hold and one slice append per caller.
+//
+//burlint:hotpath
+func (c *phaseCombiner) join(changes []Change) (ph *phaseBatch, lead bool) {
+	c.mu.Lock()
+	ph = c.cur
+	if ph == nil {
+		ph = &phaseBatch{done: make(chan struct{})}
+		c.cur = ph
+		lead = true
+	}
+	ph.changes = append(ph.changes, changes...)
+	ph.callers++
+	c.mu.Unlock()
+	return ph, lead
+}
+
+// detach closes the phase for new joiners; the leader owns ph.changes
+// afterwards.
+func (c *phaseCombiner) detach(ph *phaseBatch) {
+	c.mu.Lock()
+	if c.cur == ph {
+		c.cur = nil
+	}
+	c.mu.Unlock()
+}
+
+// phaseJoin tracks one caller's participation in a shard's phase.
+type phaseJoin struct {
+	s    int
+	ph   *phaseBatch
+	n    int // this caller's change count in the phase
+	lead bool
+}
+
+// joinPhases enters each non-empty per-shard hot slice into its
+// combiner, returning the joins the caller must settle after its
+// ordinary work. Caller holds opMu shared.
+func (x *ShardedIndex) joinPhases(hotWork [][]Change) []phaseJoin {
+	var joins []phaseJoin
+	for s, hc := range hotWork {
+		if len(hc) == 0 {
+			continue
+		}
+		ph, lead := x.combiners[s].join(hc)
+		joins = append(joins, phaseJoin{s: s, ph: ph, n: len(hc), lead: lead})
+	}
+	return joins
+}
+
+// settlePhases completes the caller's joined phases: one accumulation
+// window for all the phases it leads, then each led phase is detached
+// and applied, then every join is awaited and folded into res. The
+// caller holds opMu shared throughout, so a leader's sleep is bounded
+// and an exclusive-gate acquirer (Save, Rebalance) waits at most one
+// window. Leaders close their phase's done channel unconditionally, so
+// follower waits always terminate.
+func (x *ShardedIndex) settlePhases(joins []phaseJoin, res *BatchResult, errs []error) {
+	leads := false
+	for _, j := range joins {
+		leads = leads || j.lead
+	}
+	if leads {
+		if win := time.Duration(x.phaseWin.Load()); win > 0 {
+			time.Sleep(win)
+		}
+		for _, j := range joins {
+			if !j.lead {
+				continue
+			}
+			x.combiners[j.s].detach(j.ph)
+			j.ph.res, j.ph.err = x.applyPhase(j.s, j.ph.changes)
+			close(j.ph.done)
+		}
+	}
+	for _, j := range joins {
+		<-j.ph.done
+		if j.ph.err != nil {
+			errs[j.s] = errors.Join(errs[j.s], j.ph.err)
+		}
+		if j.lead {
+			// The phase's Applied covers every caller's changes, but the
+			// followers report theirs as Combined — count only the
+			// leader's own here so Applied+Combined summed across callers
+			// equals the changes offered. Clamped: when callers' changes
+			// coalesce across the phase (same hot id from two callers),
+			// the distinct-id count can drop below the followers' share.
+			own := j.ph.res.Applied - (len(j.ph.changes) - j.n)
+			if own < 0 {
+				own = 0
+			}
+			res.Applied += own
+			res.Coalesced += j.ph.res.Coalesced
+			res.Groups += j.ph.res.Groups
+			res.GroupResolved += j.ph.res.GroupResolved
+			res.Fallback += j.ph.res.Fallback
+			res.Absorbed += j.ph.res.Absorbed
+			res.PageIO += j.ph.res.PageIO
+		} else {
+			// The leader's result accounted this caller's changes; report
+			// them here as combined so the caller's Applied+Combined still
+			// sums to its end-to-end total.
+			res.Combined += j.n
+		}
+	}
+}
+
+// applyPhase applies one detached phase's combined changes to shard s
+// through the ordinary stay path: the shard's batched bottom-up
+// UpdateBatch, the global object-table reconcile, the shard's WAL
+// record, and cost-weighted load accounting for the measured pages.
+// Caller (the phase leader) holds opMu shared.
+func (x *ShardedIndex) applyPhase(s int, changes []Change) (BatchResult, error) {
+	sh := x.shards[s]
+	m := meterShard(sh)
+	var res BatchResult
+	br, err := sh.UpdateBatch(changes)
+	res.Applied = br.Applied
+	res.Coalesced = br.Coalesced
+	res.Groups = br.Groups
+	res.GroupResolved = br.GroupResolved
+	res.Fallback = br.Fallback
+	res.Absorbed = br.Absorbed
+	// Reconcile the global table with whatever the shard now holds and
+	// collect the log record, exactly as the phase-1 stay path does.
+	// Changes from different callers may target the same object; the
+	// shard coalesced them, so Location reports the survivor.
+	var applied []wal.Op
+	x.mu.Lock()
+	for _, c := range changes {
+		if p, ok := sh.Location(c.ID); ok {
+			x.objects[c.ID] = p
+			if x.wals != nil && p == c.To {
+				applied = append(applied, wal.Op{ID: c.ID, X: p.X, Y: p.Y})
+			}
+		}
+	}
+	x.mu.Unlock()
+	if werr := x.logTo(s, wal.TypeBatch, applied); werr != nil {
+		err = errors.Join(err, werr)
+	}
+	pages := m.done()
+	res.PageIO = int(pages)
+	// The phase's ops were deducted from each caller's offered tally at
+	// divert time; charge them here with the measured pages.
+	var cells []shard.CellCount
+	for _, c := range changes {
+		cells = addCellCount(cells, shard.CellKey(c.To), 1)
+	}
+	x.load.RecordBatch(s, pages, cells)
+	return res, err
+}

@@ -50,6 +50,26 @@ type RebalanceOptions struct {
 	// means no background loop: the caller drives Rebalance explicitly,
 	// which is also what keeps tests deterministic.
 	Interval time.Duration
+	// UseOpCounts switches the trigger shares and the quantile cuts back
+	// to raw operation counts — the pre-cost signal — instead of the
+	// cost-weighted default. Kept for comparison runs (the skew
+	// experiment's opcount arm): under extreme skew op counts concentrate
+	// on objects whose updates are nearly free (batch coalescing,
+	// memtable absorption, buffer hits), so the op-count signal moves
+	// boundaries toward shards that incur little actual I/O.
+	UseOpCounts bool
+	// PhaseWindow enables hot-object phase batching: updates targeting a
+	// hot cell (see HotCellFactor) are routed through a per-shard
+	// combiner that coalesces them across callers for up to PhaseWindow
+	// before entering the shard's batch path, so the one hot leaf is
+	// locked once per phase instead of once per caller. Zero (the
+	// default) disables phase batching.
+	PhaseWindow time.Duration
+	// HotCellFactor is the phase-batching threshold: a cell is hot when
+	// its weighted share of the cell histogram exceeds HotCellFactor×
+	// the uniform share 1/shard.NumCells (default 32). The hot set is
+	// recomputed at every Rebalance sampling window.
+	HotCellFactor float64
 }
 
 func (o RebalanceOptions) withDefaults() RebalanceOptions {
@@ -62,6 +82,9 @@ func (o RebalanceOptions) withDefaults() RebalanceOptions {
 	if o.MinOps == 0 {
 		o.MinOps = 1024
 	}
+	if o.HotCellFactor == 0 {
+		o.HotCellFactor = 32
+	}
 	return o
 }
 
@@ -73,29 +96,46 @@ type ShardLoad struct {
 	// Queries is the cumulative count of read visits (window, count and
 	// nearest-neighbour scatters that touched the shard).
 	Queries uint64
+	// Cost is the shard's cumulative foreground load cost: one unit per
+	// operation plus shard.CostPerPage per physical page the operation
+	// read or wrote. This is the currency the rebalancer balances.
+	Cost uint64
+	// BackgroundPages is the shard's cumulative page count from
+	// background memtable merge-downs — deferred work attributed
+	// separately so it never skews the foreground shares.
+	BackgroundPages uint64
 	// Objects is the shard's current object count.
 	Objects int
-	// Share is the shard's EWMA share of recent load (updates+queries),
-	// the signal the rebalancer triggers on. Shares sum to ≈1 once the
-	// first sampling window has closed.
+	// Share is the shard's EWMA share of recent cost-weighted load, the
+	// signal the rebalancer triggers on by default. Shares sum to ≈1
+	// once the first sampling window has closed.
 	Share float64
+	// OpShare is the shard's EWMA share of recent raw operation counts
+	// (updates+queries), kept for observability and for
+	// RebalanceOptions.UseOpCounts comparison runs.
+	OpShare float64
 }
 
 // ShardLoads returns each shard's load accounting: cumulative update and
-// query counts, current object count, and the windowed EWMA load share.
-// Companion to Stats for balance monitoring and the rebalancer's own
-// trigger.
+// query counts, foreground cost and background page attribution, current
+// object count, and the windowed EWMA shares (cost-weighted and
+// op-count). Companion to Stats for balance monitoring and the
+// rebalancer's own trigger.
 func (x *ShardedIndex) ShardLoads() []ShardLoad {
 	x.opMu.RLock()
 	defer x.opMu.RUnlock()
 	shares := x.load.Shares()
+	opShares := x.load.OpShares()
 	out := make([]ShardLoad, len(x.shards))
 	for i, s := range x.shards {
 		out[i] = ShardLoad{
-			Updates: x.load.UpdateCount(i),
-			Queries: x.load.QueryCount(i),
-			Objects: s.Len(),
-			Share:   shares[i],
+			Updates:         x.load.UpdateCount(i),
+			Queries:         x.load.QueryCount(i),
+			Cost:            x.load.CostOf(i),
+			BackgroundPages: x.load.BackgroundPages(i),
+			Objects:         s.Len(),
+			Share:           shares[i],
+			OpShare:         opShares[i],
 		}
 	}
 	return out
@@ -117,6 +157,15 @@ func (x *ShardedIndex) SetRebalance(o RebalanceOptions) {
 	x.stopRebalancer()
 	x.rebalMu.Lock()
 	x.ropts = o.withDefaults()
+	// Phase batching reconfigures immediately: turning it off clears the
+	// hot set (in-flight phases settle on their own), turning it on takes
+	// effect at the next Rebalance sampling window.
+	if x.ropts.PhaseWindow <= 0 {
+		x.hotCells.Store(nil)
+		x.phaseWin.Store(0)
+	} else {
+		x.phaseWin.Store(int64(x.ropts.PhaseWindow))
+	}
 	x.startRebalancerLocked()
 	x.rebalMu.Unlock()
 }
@@ -172,9 +221,22 @@ func (x *ShardedIndex) Rebalance() (int, error) {
 	x.rebalMu.Lock()
 	o := x.ropts
 	x.rebalMu.Unlock()
-	shares, ops := x.load.Sample()
+	// One Sample delivers shares and cell histograms snapshot together:
+	// boundary cuts below use w's cells, never a fresh CellLoads read
+	// that a concurrent decay could have zeroed in between. The cost
+	// shares are computed from the shards' exact cumulative page
+	// counters (fgPages), not the per-operation brackets, which
+	// over-count overlapping I/O under concurrency.
+	w := x.load.SampleAt(x.fgPages())
+	shares, cells := w.Shares, w.Cells
+	if o.UseOpCounts {
+		shares, cells = w.OpShares, w.CellOps
+	}
+	// The hot-cell set for phase batching refreshes every sampling
+	// window, whether or not a boundary step triggers.
+	x.refreshHotCells(o, cells, w.Ops)
 	n := len(shares)
-	if n < 2 || ops < o.MinOps {
+	if n < 2 || w.Ops < o.MinOps {
 		return 0, nil
 	}
 	x.rebalMu.Lock()
@@ -198,9 +260,9 @@ func (x *ShardedIndex) Rebalance() (int, error) {
 	var moved int
 	var err error
 	if x.router.Scheme() == shard.Grid {
-		moved, err = x.upgradeToHilbertLocked()
+		moved, err = x.upgradeToHilbertLocked(cells)
 	} else {
-		moved, err = x.nudgeBoundaryLocked(hot, o.MaxStep)
+		moved, err = x.nudgeBoundaryLocked(hot, o.MaxStep, cells)
 	}
 	if err == nil && moved > 0 && o.Cooldown > 0 {
 		x.rebalMu.Lock()
@@ -216,11 +278,11 @@ func (x *ShardedIndex) Rebalance() (int, error) {
 // load of its new slice of the object table. One rebuild costs far less
 // than migrating nearly every object through per-object delete+insert,
 // which is why the upgrade ignores MaxStep. Caller holds opMu
-// exclusively; on any error the previous shards and router stay
-// installed.
-func (x *ShardedIndex) upgradeToHilbertLocked() (int, error) {
+// exclusively and passes the cell histogram snapshot its Sample
+// returned; on any error the previous shards and router stay installed.
+func (x *ShardedIndex) upgradeToHilbertLocked(cells []uint64) (int, error) {
 	n := len(x.shards)
-	bounds, err := shard.LoadQuantileBounds(n, x.load.CellLoads())
+	bounds, err := shard.LoadQuantileBounds(n, cells)
 	if err != nil {
 		return 0, fmt.Errorf("burtree: rebalance: %w", err)
 	}
@@ -266,12 +328,15 @@ func (x *ShardedIndex) upgradeToHilbertLocked() (int, error) {
 		return 0, fmt.Errorf("burtree: rebalance: rebuilding shards: %w", err)
 	}
 	old := x.shards
+	x.retirePagesLocked()
 	x.shards = fresh
 	x.router = router
 	x.sopts.Partition = ShardHilbert
 	x.routerEpoch++
 	x.load.DecayCells()
-	x.load.ResetShares()
+	// Reset to the post-rebuild page snapshot: the rebuild I/O just paid
+	// belongs to the retired layout, not the first window of the new one.
+	x.load.ResetShares(x.fgPagesLocked())
 	var closeErr error
 	for _, s := range old {
 		closeErr = errors.Join(closeErr, s.Close())
@@ -293,11 +358,12 @@ func (x *ShardedIndex) upgradeToHilbertLocked() (int, error) {
 // at least one cell, so a step under budget pressure still makes
 // progress), installs the new router and moves the affected objects
 // between the two shard trees. Positions do not change, so neither the
-// global object table nor the write-ahead log is touched.
-func (x *ShardedIndex) nudgeBoundaryLocked(hot, maxStep int) (int, error) {
+// global object table nor the write-ahead log is touched. The caller
+// passes the cell histogram snapshot its Sample returned.
+func (x *ShardedIndex) nudgeBoundaryLocked(hot, maxStep int, cells []uint64) (int, error) {
 	n := len(x.shards)
 	cur := x.router.Bounds()
-	target, err := shard.LoadQuantileBounds(n, x.load.CellLoads())
+	target, err := shard.LoadQuantileBounds(n, cells)
 	if err != nil {
 		return 0, fmt.Errorf("burtree: rebalance: %w", err)
 	}
@@ -414,6 +480,8 @@ func (x *ShardedIndex) nudgeBoundaryLocked(hot, maxStep int) (int, error) {
 	x.router = router
 	x.routerEpoch++
 	x.load.DecayCells()
-	x.load.ResetShares()
+	// Reset to the post-migration page snapshot so the delete+insert I/O
+	// the step itself paid does not seed the next window's shares.
+	x.load.ResetShares(x.fgPagesLocked())
 	return len(movers), nil
 }

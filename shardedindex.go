@@ -117,6 +117,12 @@ type ShardedIndex struct {
 	// routerEpoch counts boundary changes (guarded by opMu; bumped under
 	// the exclusive gate, persisted in the sharded manifest).
 	routerEpoch uint64
+	// pageBase carries each shard slot's cumulative foreground page
+	// count across shard rebuilds (guarded by opMu like the shards
+	// slice): a boundary change that replaces the shards would otherwise
+	// reset their page counters to zero and make the cumulative sequence
+	// fgPages feeds to LoadTracker.SampleAt run backward.
+	pageBase []uint64
 	// ioLatency remembers the simulated per-page latency so shards
 	// rebuilt by a rebalance keep paying it.
 	ioLatency atomic.Int64
@@ -127,6 +133,89 @@ type ShardedIndex struct {
 	rebalCool int // qualifying windows left to skip (Cooldown hysteresis)
 	rebalStop chan struct{}
 	rebalWG   sync.WaitGroup
+
+	// hotCells is the current phase-batched cell set (nil ⇒ phase
+	// batching inactive; see phasebatch.go), phaseWin the accumulation
+	// window, and combiners the per-shard phase combiners. The set and
+	// window are atomics so the batch routing loop pays one pointer load
+	// when the feature is off.
+	hotCells  atomic.Pointer[hotCellSet]
+	phaseWin  atomic.Int64
+	combiners []*phaseCombiner
+}
+
+// newCombiners builds one phase combiner per shard.
+func newCombiners(n int) []*phaseCombiner {
+	out := make([]*phaseCombiner, n)
+	for i := range out {
+		out[i] = &phaseCombiner{}
+	}
+	return out
+}
+
+// ioMark brackets one shard operation for foreground I/O attribution:
+// done() reports the pages the shard spent since the mark, minus the
+// background merge-down pages, clamped at zero. Pages from overlapping
+// operations on the same shard land in every open bracket, so the
+// bracketed costs over-count under concurrency — they feed per-cell
+// attribution and observability, where only relative weight within a
+// shard matters. The rebalancer's per-shard share signal samples the
+// exact cumulative page counters instead (fgPages → SampleAt).
+type ioMark struct {
+	sh    *ConcurrentIndex
+	pages uint64
+	bg    uint64
+}
+
+func meterShard(sh *ConcurrentIndex) ioMark {
+	return ioMark{sh: sh, pages: sh.pagesNow(), bg: sh.bgPages.Load()}
+}
+
+func (m ioMark) done() uint64 {
+	return uint64(foregroundPages(m.sh.pagesNow()-m.pages, m.sh.bgPages.Load()-m.bg))
+}
+
+// fgPages snapshots every shard's exact cumulative foreground page
+// count — pages read plus written, minus background merge-down pages —
+// offset by pageBase so the sequence stays monotone across shard
+// rebuilds. This is the page stream LoadTracker.SampleAt consumes.
+func (x *ShardedIndex) fgPages() []uint64 {
+	x.opMu.RLock()
+	defer x.opMu.RUnlock()
+	return x.fgPagesLocked()
+}
+
+// fgPagesLocked is fgPages for callers already holding opMu (shared or
+// exclusive).
+func (x *ShardedIndex) fgPagesLocked() []uint64 {
+	out := make([]uint64, len(x.shards))
+	for s, sh := range x.shards {
+		out[s] = x.pageBase[s] + uint64(foregroundPages(sh.pagesNow(), sh.bgPages.Load()))
+	}
+	return out
+}
+
+// retirePagesLocked folds the retiring shards' foreground page counts
+// into pageBase before a rebuild replaces them; caller holds opMu
+// exclusively.
+func (x *ShardedIndex) retirePagesLocked() {
+	for s, sh := range x.shards {
+		x.pageBase[s] += uint64(foregroundPages(sh.pagesNow(), sh.bgPages.Load()))
+	}
+}
+
+// addCellCount accumulates one cell's op count in a small slice keyed
+// by linear scan: batches concentrate on few distinct cells (that is
+// what makes batching pay), so the scan beats a map and allocates only
+// on new cells.
+func addCellCount(cells []shard.CellCount, cell uint64, n int) []shard.CellCount {
+	for i := range cells {
+		if cells[i].Cell == cell {
+			cells[i].N += n
+			return cells
+		}
+	}
+	return append(cells, shard.CellCount{Cell: cell, N: n})
 }
 
 // nextLSN hands out globally ordered record sequences to the per-shard
@@ -180,13 +269,15 @@ func OpenSharded(opts Options, sopts ShardOptions) (*ShardedIndex, error) {
 		return nil, err
 	}
 	x := &ShardedIndex{
-		router:  router,
-		shards:  shards,
-		options: opts,
-		sopts:   sopts,
-		objects: make(map[uint64]Point),
-		load:    shard.NewLoadTracker(sopts.Shards),
-		ropts:   sopts.Rebalance.withDefaults(),
+		router:    router,
+		shards:    shards,
+		options:   opts,
+		sopts:     sopts,
+		objects:   make(map[uint64]Point),
+		load:      shard.NewLoadTracker(sopts.Shards),
+		pageBase:  make([]uint64, sopts.Shards),
+		ropts:     sopts.Rebalance.withDefaults(),
+		combiners: newCombiners(sopts.Shards),
 	}
 	if d := opts.Durability; d.enabled() {
 		if err := checkFreshDir(d.Dir); err != nil {
@@ -359,6 +450,7 @@ func (x *ShardedIndex) BulkInsert(ids []uint64, pts []Point, method PackMethod) 
 			// corrected retry is possible. The replaced shards are closed
 			// first so their background mergers do not leak.
 			if fresh, rerr := openShards(x.options, len(x.shards)); rerr == nil {
+				x.retirePagesLocked()
 				for _, s := range x.shards {
 					_ = s.Close()
 				}
@@ -460,6 +552,7 @@ func (x *ShardedIndex) Insert(id uint64, p Point) error {
 	x.objects[id] = p
 	x.mu.Unlock()
 	s := x.router.ShardOf(p)
+	m := meterShard(x.shards[s])
 	if err := x.shards[s].Insert(id, p); err != nil {
 		x.mu.Lock()
 		if cur, ok := x.objects[id]; ok && cur == p {
@@ -481,7 +574,7 @@ func (x *ShardedIndex) Insert(id uint64, p Point) error {
 		x.mu.Unlock()
 		return err
 	}
-	x.load.RecordUpdates(s, shard.CellKey(p), 1)
+	x.load.RecordUpdates(s, shard.CellKey(p), 1, m.done())
 	return nil
 }
 
@@ -502,6 +595,12 @@ func (x *ShardedIndex) Update(id uint64, p Point) error {
 	}
 	x.objects[id] = p
 	x.mu.Unlock()
+	src, dst := x.router.ShardOf(old), x.router.ShardOf(p)
+	mDst := meterShard(x.shards[dst])
+	var mSrc ioMark
+	if src != dst {
+		mSrc = meterShard(x.shards[src])
+	}
 	err := x.moveRouted(id, old, p)
 	if err != nil {
 		x.mu.Lock()
@@ -513,7 +612,6 @@ func (x *ShardedIndex) Update(id uint64, p Point) error {
 	}
 	// The move is logged once, in the shard that now owns the object;
 	// replay re-routes it, re-deriving the cross-shard delete+insert.
-	dst := x.router.ShardOf(p)
 	if err := x.logTo(dst, wal.TypeBatch, []wal.Op{{ID: id, X: p.X, Y: p.Y}}); err != nil {
 		// Applied but not logged: move the object back and restore the
 		// table so the errored call leaves no acked-but-unreplayable state.
@@ -525,7 +623,13 @@ func (x *ShardedIndex) Update(id uint64, p Point) error {
 		x.mu.Unlock()
 		return err
 	}
-	x.load.RecordUpdates(dst, shard.CellKey(p), 1)
+	// The operation is accounted to the destination; a cross-shard move
+	// additionally charges the source its real departure I/O as a
+	// zero-op cost record at the object's old cell.
+	x.load.RecordUpdates(dst, shard.CellKey(p), 1, mDst.done())
+	if src != dst {
+		x.load.RecordUpdates(src, shard.CellKey(old), 0, mSrc.done())
+	}
 	return nil
 }
 
@@ -564,6 +668,7 @@ func (x *ShardedIndex) Delete(id uint64) error {
 	delete(x.objects, id)
 	x.mu.Unlock()
 	s := x.router.ShardOf(old)
+	m := meterShard(x.shards[s])
 	if err := x.shards[s].Delete(id); err != nil {
 		x.mu.Lock()
 		if _, ok := x.objects[id]; !ok {
@@ -583,7 +688,7 @@ func (x *ShardedIndex) Delete(id uint64) error {
 		x.mu.Unlock()
 		return err
 	}
-	x.load.RecordUpdates(s, shard.CellKey(old), 1)
+	x.load.RecordUpdates(s, shard.CellKey(old), 1, m.done())
 	return nil
 }
 
@@ -629,13 +734,16 @@ func (x *ShardedIndex) UpdateBatch(changes []Change) (BatchResult, error) {
 	x.opMu.RLock()
 	defer x.opMu.RUnlock()
 	var res BatchResult
-	// Load accounting records the offered stream, before coalescing: a
+	// Load accounting tallies the offered stream, before coalescing: a
 	// hot object updated many times per batch coalesces into one applied
 	// change, but each of those updates was traffic the owning shard
 	// absorbed — undercounting them would hide exactly the skew the
-	// rebalancer exists to detect.
+	// rebalancer exists to detect. The tallies are recorded after the
+	// apply phases, together with each shard's measured page I/O.
+	offered := make([][]shard.CellCount, len(x.shards))
 	for _, c := range changes {
-		x.load.RecordUpdates(x.router.ShardOf(c.To), shard.CellKey(c.To), 1)
+		s := x.router.ShardOf(c.To)
+		offered[s] = addCellCount(offered[s], shard.CellKey(c.To), 1)
 	}
 	x.mu.RLock()
 	coalesced, dropped, err := coalesceChanges(changes, func(id uint64) (Point, bool) {
@@ -648,10 +756,27 @@ func (x *ShardedIndex) UpdateBatch(changes []Change) (BatchResult, error) {
 	}
 	res.Coalesced = dropped
 
+	// Hot-cell diversion: in-shard moves targeting a phase-batched cell
+	// are combined across callers (see phasebatch.go) instead of riding
+	// this caller's per-shard batch. Their offered tally moves with them
+	// — the phase leader records one op (with measured pages) per
+	// combined change, so the deduction here keeps the op stream exact.
+	hot := x.hotCells.Load()
+	var hotWork [][]Change
+	if hot != nil {
+		hotWork = make([][]Change, len(x.shards))
+	}
 	work := make([]shardWork, len(x.shards))
 	for _, c := range coalesced {
 		src, dst := x.router.ShardOf(c.Old), x.router.ShardOf(c.New)
 		if src == dst {
+			if hot != nil {
+				if _, ok := (*hot)[shard.CellKey(c.New)]; ok {
+					hotWork[src] = append(hotWork[src], Change{ID: c.OID, To: c.New})
+					offered[src] = addCellCount(offered[src], shard.CellKey(c.New), -1)
+					continue
+				}
+			}
 			work[src].stay = append(work[src].stay, Change{ID: c.OID, To: c.New})
 			continue
 		}
@@ -659,7 +784,14 @@ func (x *ShardedIndex) UpdateBatch(changes []Change) (BatchResult, error) {
 		work[src].del = append(work[src].del, cm)
 		work[dst].ins = append(work[dst].ins, cm)
 	}
+	var joins []phaseJoin
+	if hot != nil {
+		// Join before the ordinary phases run so the combiner accumulates
+		// other callers' changes while this caller does its cold work.
+		joins = x.joinPhases(hotWork)
+	}
 
+	pagesTally := make([]uint64, len(x.shards))
 	var resMu sync.Mutex
 
 	// Phase 1, per shard in parallel: departures (sorted by id), then
@@ -677,6 +809,8 @@ func (x *ShardedIndex) UpdateBatch(changes []Change) (BatchResult, error) {
 		wg.Add(1)
 		go func(s int, w *shardWork) {
 			defer wg.Done()
+			m := meterShard(x.shards[s])
+			defer func() { pagesTally[s] += m.done() }()
 			sort.Slice(w.del, func(i, j int) bool { return w.del[i].id < w.del[j].id })
 			for _, cm := range w.del {
 				if err := x.shards[s].Delete(cm.id); err != nil {
@@ -731,6 +865,8 @@ func (x *ShardedIndex) UpdateBatch(changes []Change) (BatchResult, error) {
 		wg.Add(1)
 		go func(s int, w *shardWork) {
 			defer wg.Done()
+			m := meterShard(x.shards[s])
+			defer func() { pagesTally[s] += m.done() }()
 			sort.Slice(w.ins, func(i, j int) bool { return w.ins[i].id < w.ins[j].id })
 			var arrived []wal.Op
 			for _, cm := range w.ins {
@@ -770,6 +906,19 @@ func (x *ShardedIndex) UpdateBatch(changes []Change) (BatchResult, error) {
 		}(s, w)
 	}
 	wg.Wait()
+	// Record each shard's offered ops with its measured foreground pages
+	// (even on error — the I/O was spent). Departure-only shards record
+	// pages with zero histogram ops: their moves were tallied at the
+	// destination.
+	for s := range x.shards {
+		if len(offered[s]) > 0 || pagesTally[s] > 0 {
+			x.load.RecordBatch(s, pagesTally[s], offered[s])
+			res.PageIO += int(pagesTally[s])
+		}
+	}
+	if joins != nil {
+		x.settlePhases(joins, &res, errs)
+	}
 	for _, e := range errs {
 		if e != nil {
 			return res, e
@@ -788,11 +937,15 @@ func (x *ShardedIndex) Search(q Rect) ([]uint64, error) {
 	x.opMu.RLock()
 	defer x.opMu.RUnlock()
 	targets := x.router.ShardsFor(q)
-	for _, s := range targets {
-		x.load.RecordQuery(s)
-	}
+	// Each shard visit is charged its actual page I/O, not a flat count:
+	// a wide window over a cold or empty shard costs that shard almost
+	// nothing, and the load signal must say so.
 	if len(targets) == 1 {
-		return x.shards[targets[0]].Search(q)
+		s := targets[0]
+		m := meterShard(x.shards[s])
+		out, err := x.shards[s].Search(q)
+		x.load.RecordQuery(s, m.done())
+		return out, err
 	}
 	outs := make([][]uint64, len(targets))
 	errs := make([]error, len(targets))
@@ -801,7 +954,9 @@ func (x *ShardedIndex) Search(q Rect) ([]uint64, error) {
 		wg.Add(1)
 		go func(i, s int) {
 			defer wg.Done()
+			m := meterShard(x.shards[s])
 			outs[i], errs[i] = x.shards[s].Search(q)
+			x.load.RecordQuery(s, m.done())
 		}(i, s)
 	}
 	wg.Wait()
@@ -841,7 +996,7 @@ func (x *ShardedIndex) SearchFunc(q Rect, visit func(id uint64, p Point) bool) e
 	}
 	stopped := false
 	for _, s := range targets {
-		x.load.RecordQuery(s)
+		m := meterShard(x.shards[s])
 		err := x.shards[s].SearchFunc(q, func(id uint64, p Point) bool {
 			if seen != nil {
 				if _, dup := seen[id]; dup {
@@ -855,6 +1010,7 @@ func (x *ShardedIndex) SearchFunc(q Rect, visit func(id uint64, p Point) bool) e
 			}
 			return true
 		})
+		x.load.RecordQuery(s, m.done())
 		if err != nil {
 			return err
 		}
@@ -874,11 +1030,11 @@ func (x *ShardedIndex) Count(q Rect) (int, error) {
 	defer x.opMu.RUnlock()
 	targets := x.router.ShardsFor(q)
 	if len(targets) == 1 {
-		x.load.RecordQuery(targets[0])
-		return x.shards[targets[0]].Count(q)
-	}
-	for _, s := range targets {
-		x.load.RecordQuery(s)
+		s := targets[0]
+		m := meterShard(x.shards[s])
+		n, err := x.shards[s].Count(q)
+		x.load.RecordQuery(s, m.done())
+		return n, err
 	}
 	outs := make([][]uint64, len(targets))
 	errs := make([]error, len(targets))
@@ -887,7 +1043,9 @@ func (x *ShardedIndex) Count(q Rect) (int, error) {
 		wg.Add(1)
 		go func(i, s int) {
 			defer wg.Done()
+			m := meterShard(x.shards[s])
 			outs[i], errs[i] = x.shards[s].Search(q)
+			x.load.RecordQuery(s, m.done())
 		}(i, s)
 	}
 	wg.Wait()
@@ -940,8 +1098,9 @@ func (x *ShardedIndex) Nearest(p Point, k int) ([]Neighbor, error) {
 		if len(best) == k && sd.dist > best[k-1].Dist {
 			break
 		}
-		x.load.RecordQuery(sd.s)
+		m := meterShard(x.shards[sd.s])
 		ns, err := x.shards[sd.s].Nearest(p, k)
+		x.load.RecordQuery(sd.s, m.done())
 		if err != nil {
 			return nil, err
 		}
